@@ -1,0 +1,21 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done
+
+experiments:
+	repro experiment all --quick --report experiment_report.md
+
+clean:
+	rm -rf benchmarks/results .pytest_cache build *.egg-info experiment_report.md

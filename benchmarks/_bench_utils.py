@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper and registers
+the rendered text here; the conftest prints everything in the terminal
+summary (so it lands in ``bench_output.txt``) and mirrors it to
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: name -> rendered text, printed by pytest_terminal_summary.
+RESULTS: dict[str, str] = {}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Register a rendered experiment output and persist it to disk."""
+    RESULTS[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

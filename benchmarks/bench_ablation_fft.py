@@ -1,0 +1,53 @@
+"""Ablation — convolution engine choice.
+
+DESIGN.md keeps three interchangeable convolution engines: the O(n^2)
+direct kernel, the from-scratch radix-2 FFT, and numpy's C FFT.  This
+bench times all three on the autocorrelation the miners actually run
+and documents the crossovers (direct loses quickly; the pure-Python
+transform tracks numpy's asymptotics at a constant-factor cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.convolution import correlate_direct, correlate_fft
+
+N = 4_096
+
+
+@pytest.fixture(scope="module")
+def indicator():
+    rng = np.random.default_rng(2004)
+    return (rng.integers(0, 5, size=N) == 0).astype(np.float64)
+
+
+@pytest.mark.benchmark(group="ablation-fft")
+def test_direct_correlation(benchmark, indicator):
+    out = benchmark(lambda: correlate_direct(indicator, indicator))
+    assert out[0] == pytest.approx(indicator.sum())
+
+
+@pytest.mark.benchmark(group="ablation-fft")
+def test_scratch_fft_correlation(benchmark, indicator):
+    out = benchmark(lambda: correlate_fft(indicator, use_numpy=False))
+    assert np.rint(out[0]) == indicator.sum()
+
+
+@pytest.mark.benchmark(group="ablation-fft")
+def test_numpy_fft_correlation(benchmark, indicator):
+    out = benchmark(lambda: correlate_fft(indicator, use_numpy=True))
+    assert np.rint(out[0]) == indicator.sum()
+
+
+@pytest.mark.benchmark(group="ablation-fft")
+def test_engines_agree(benchmark, indicator):
+    def run():
+        return (
+            correlate_direct(indicator, indicator),
+            correlate_fft(indicator, use_numpy=False),
+            correlate_fft(indicator, use_numpy=True),
+        )
+
+    direct, scratch, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    np.testing.assert_allclose(direct, scratch, atol=1e-6)
+    np.testing.assert_allclose(direct, fast, atol=1e-6)

@@ -1,0 +1,16 @@
+"""Benchmark-session plumbing: print every regenerated table/figure."""
+
+from _bench_utils import RESULTS
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("Regenerated paper tables and figures")
+    terminalreporter.write_line("=" * 78)
+    for name in sorted(RESULTS):
+        terminalreporter.write_line("")
+        for line in RESULTS[name].splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,86 @@
+"""Event-log scenario: finding periodic jobs in a noisy event stream.
+
+The paper's second data model (Sect. 2.1) is a log of nominal event
+types, e.g. from network monitoring.  This example plants a heartbeat
+(every 60 slots) and a flaky poller (every 15 slots, 90% reliable) into
+background traffic, then:
+
+* mines them out with the obscure-patterns miner — periods discovered,
+  phases located, reliabilities estimated by the support;
+* runs the Ma-Hellerstein inter-arrival baseline on the same log and on
+  the paper's adversarial example (occurrences at 0, 4, 5, 7, 10 whose
+  true period 5 never appears as an adjacent gap) to show why
+  adjacent-gap detection misses valid periods.
+
+Run:  python examples/event_log_monitoring.py
+"""
+
+import numpy as np
+
+from repro import SpectralMiner, SymbolSequence
+from repro.baselines import MaHellerstein
+from repro.data import EventLogSimulator, PlantedEvent
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    simulator = EventLogSimulator(
+        length=6000,
+        planted=(
+            PlantedEvent("H", period=60, phase=0, reliability=0.98),
+            PlantedEvent("B", period=15, phase=7, reliability=0.90),
+        ),
+    )
+    log = simulator.series(rng)
+    print(f"event log: n={log.length} slots, alphabet {log.alphabet.symbols}")
+
+    table = SpectralMiner(psi=0.5, max_period=200).periodicity_table(log)
+    hits = [
+        h for h in table.periodicities(0.7)
+        if str(h.symbol(table.alphabet)) in ("H", "B")
+    ]
+    # A true period resurfaces at every multiple (harmonics); report each
+    # planted event at its *base* (smallest detected) period.
+    base = {}
+    for hit in hits:
+        symbol = str(hit.symbol(table.alphabet))
+        if symbol not in base or hit.period < base[symbol].period:
+            base[symbol] = hit
+    print("\nobscure-patterns miner, psi=0.70 (base periods):")
+    for symbol, hit in sorted(base.items()):
+        harmonics = sorted({h.period for h in hits
+                            if str(h.symbol(table.alphabet)) == symbol})
+        print(
+            f"  event {symbol!r}: period {hit.period:>3}, phase {hit.position:>2}, "
+            f"support {hit.support:.2f}  (also at multiples {harmonics[1:4]}...)"
+        )
+
+    # The planted jobs are found at their base periods with the right
+    # phases; the supports estimate the planted reliabilities (an H beat
+    # survives a pair only if both consecutive occurrences fired).
+    print("\n(planted: H every 60 @ phase 0, 98% reliable; "
+          "B every 15 @ phase 7, 90% reliable)")
+
+    baseline = MaHellerstein(confidence=0.99)
+    flagged = {c.period for c in baseline.candidates(log)}
+    print(f"\nMa-Hellerstein flags gap values: {sorted(flagged)[:10]}")
+
+    # The paper's Sect. 1.1 example: period 5 hides from adjacent gaps.
+    tricky = ["x"] * 12
+    for position in (0, 4, 5, 7, 10):
+        tricky[position] = "s"
+    tricky_series = SymbolSequence.from_symbols(tricky)
+    s_code = tricky_series.alphabet.code("s")
+    gaps = MaHellerstein().adjacent_gaps(tricky_series, s_code)
+    print(
+        f"\npaper's example (s at 0, 4, 5, 7, 10): adjacent gaps {gaps.tolist()} "
+        "— the underlying period 5 is never examined by the baseline,"
+    )
+    tricky_table = SpectralMiner().periodicity_table(tricky_series)
+    f2_at_5 = tricky_table.f2(5, s_code, 0)
+    print(f"while the miner's evidence at period 5 counts F2 = {f2_at_5} "
+          "consecutive matches (positions 0->5->10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Fleet scenario: population-level periods, significance, and warping.
+
+Extends the paper's per-series mining to the deployment questions a
+real CIMEG-style grid operator would ask:
+
+* Which periods hold across the *fleet* of customers, not just one
+  meter?  (`repro.analysis.aggregate`)
+* Which detected periodicities are statistically meaningful rather
+  than threshold artefacts?  (`repro.analysis.significance`)
+* Is the rhythm still there when the data suffers dropped/duplicated
+  readings — the insertion/deletion noise that breaks rigid positional
+  matching?  (`repro.baselines.warping`)
+
+Run:  python examples/fleet_monitoring.py
+"""
+
+import numpy as np
+
+from repro.analysis import consensus_periods, mine_many, significant_periods
+from repro.baselines import WarpingDetector
+from repro.core import SpectralMiner
+from repro.data import PowerConsumptionSimulator, apply_noise
+
+
+def main() -> None:
+    # --- fleet consensus ------------------------------------------------
+    fleet = [
+        PowerConsumptionSimulator(
+            low_day=int(seed % 7),  # each customer has their own habit day
+        ).series(np.random.default_rng(seed))
+        for seed in range(8)
+    ]
+    tables = mine_many(fleet, psi=0.4, max_period=40)
+    consensus = consensus_periods(tables, psi=0.6, min_prevalence=0.75)
+    print("fleet of 8 customers, periods holding in >= 75% of them:")
+    for entry in consensus[:6]:
+        print(
+            f"  period {entry.period:>3}: {entry.detections}/{entry.series_count} "
+            f"customers, mean confidence {entry.mean_confidence:.2f}"
+        )
+    weekly = [c.period for c in consensus if c.period % 7 == 0]
+    print(f"weekly structure is fleet-wide: {sorted(weekly)[:4]}")
+
+    # --- significance filtering -----------------------------------------
+    customer = fleet[0]
+    table = SpectralMiner(psi=0.5, max_period=40).periodicity_table(customer)
+    raw = table.candidate_periods(0.5)
+    significant = significant_periods(customer, table, psi=0.5, alpha=1e-3)
+    print(
+        f"\none customer: {len(raw)} candidate periods at psi=0.5, "
+        f"{len(significant)} survive the binomial null test: "
+        f"{significant[:8]}"
+    )
+
+    # --- warped verification under sensor faults -------------------------
+    rng = np.random.default_rng(99)
+    faulty = apply_noise(customer, 0.15, "I-D", rng)  # dropped + duplicated days
+    rigid = SpectralMiner(max_period=10).periodicity_table(faulty).confidence(7)
+    warped = WarpingDetector(band=3).confidence(faulty, 7)
+    print(
+        f"\nafter 15% dropped/duplicated readings: rigid confidence at "
+        f"period 7 = {rigid:.2f}, warped confidence = {warped:.2f}"
+    )
+    print("-> the weekly rhythm is still observable once local drift is allowed")
+
+
+if __name__ == "__main__":
+    main()

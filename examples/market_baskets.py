@@ -1,0 +1,61 @@
+"""Market-basket scenario: rules that only hold at certain hours.
+
+The cyclic-association-rules strand of related work ([17] in the paper)
+asks a different question over the same retail domain: not "when is the
+hourly volume periodic" but "which *purchase rules* hold cyclically".
+This example plants two such rules into synthetic transaction data —
+"coffee implies pastry in morning units", "bread implies milk every
+sixth unit" — and recovers them, cycles and all, with the
+:class:`repro.rules.CyclicRuleMiner`.
+
+Run:  python examples/market_baskets.py
+"""
+
+import numpy as np
+
+from repro.rules import (
+    CyclicRuleMiner,
+    MarketBasketSimulator,
+    PlantedCycle,
+    association_rules,
+    frequent_itemsets,
+)
+
+
+def main() -> None:
+    simulator = MarketBasketSimulator(
+        units=72,
+        transactions_per_unit=150,
+        planted=(
+            PlantedCycle(("coffee",), "pastry", period=4, offset=1),
+            PlantedCycle(("bread",), "milk", period=6, offset=0, strength=0.9),
+        ),
+        anchor_rate=0.5,
+    )
+    units = simulator.generate(np.random.default_rng(2004))
+    print(f"{len(units)} time units, ~{len(units[0])} transactions each")
+
+    # A single unit's classic Apriori view:
+    morning = units[1]  # unit 1 = offset 1 mod 4: the coffee->pastry hour
+    itemsets = frequent_itemsets(morning, min_support=0.25)
+    rules = association_rules(itemsets, len(morning), min_confidence=0.7)
+    print("\nrules holding in unit 1 (a planted 'morning' unit):")
+    for rule in rules[:4]:
+        print(f"  {rule.render()}")
+
+    # The cyclic view across every unit:
+    miner = CyclicRuleMiner(min_support=0.25, min_confidence=0.7, max_period=12)
+    cyclic = miner.mine(units)
+    print("\ncyclic rules across all units (minimal cycles):")
+    for rule in cyclic[:6]:
+        print(f"  {rule.render()}")
+
+    planted = {(4, 1), (6, 0)}
+    recovered = {
+        (c.period, c.offset) for rule in cyclic for c in rule.cycles
+    }
+    print(f"\nplanted cycles {sorted(planted)} recovered: {planted <= recovered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Archive scenario: merge-mine monthly chunks without re-reading data.
+
+A store keeps hourly transaction archives by month.  Mining the whole
+history monolithically means re-reading every archive; merge mining
+(after the paper's reference [4]) mines each archive once, exchanges
+only the compact hit-set structures, and produces *exactly* the
+monolithic result — here verified side by side.
+
+Run:  python examples/merge_archives.py
+"""
+
+import numpy as np
+
+from repro.baselines import MaxSubpatternMiner, MergeMiner
+from repro.core import SymbolSequence
+from repro.data import RetailTransactionsSimulator
+
+PERIOD = 24
+MONTHS = 5
+DAYS_PER_MONTH = 30
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    history = RetailTransactionsSimulator(days=MONTHS * DAYS_PER_MONTH).series(rng)
+    chunk_hours = DAYS_PER_MONTH * 24
+    archives = [
+        history[m * chunk_hours : (m + 1) * chunk_hours] for m in range(MONTHS)
+    ]
+    print(f"{MONTHS} monthly archives of {chunk_hours} hours each")
+
+    merged = MergeMiner(min_confidence=0.5, max_arity=4).merge_mine(
+        archives, PERIOD
+    )
+    monolithic = MaxSubpatternMiner(min_confidence=0.5, max_arity=4).mine(
+        history, PERIOD
+    )
+    identical = {(p.slots, round(p.support, 9)) for p in merged} == {
+        (p.slots, round(p.support, 9)) for p in monolithic
+    }
+    print(f"\nmerged result identical to monolithic mining: {identical}")
+    print(f"patterns found: {len(merged)}")
+
+    print("\nstrongest daily patterns (from the merged archives):")
+    for pattern in merged[:5]:
+        print(
+            f"  {pattern.to_string(history.alphabet)}  "
+            f"support {pattern.support:.2f}"
+        )
+
+    # What each archive contributes: the per-chunk trees are tiny
+    # compared to the raw data they summarise.
+    miner = MaxSubpatternMiner(min_confidence=0.5)
+    tree = miner.build_tree(archives[0], PERIOD)
+    print(
+        f"\none archive = {archives[0].length} symbols; its exchanged "
+        f"hit-set tree holds {tree.node_count} nodes"
+    )
+
+
+if __name__ == "__main__":
+    main()

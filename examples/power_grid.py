@@ -1,0 +1,81 @@
+"""Power-grid scenario: weekly consumption habits of one customer.
+
+Recreates the paper's CIMEG use case end to end: simulate a year of
+daily power consumption, discretize it with the paper's five expert
+levels ("very low is less than 6000 Watts/Day, and each level has a
+2000 Watts range"), mine with *no* period supplied, and interpret the
+findings in domain terms — exactly the reading the paper gives its
+"(a,3)" pattern: "less than 6000 Watts/Day occur in the 4th day of the
+week for 50% of the days".
+
+Run:  python examples/power_grid.py
+"""
+
+import numpy as np
+
+from repro import mine
+from repro.data import PowerConsumptionSimulator
+
+LEVEL_MEANING = {
+    "a": "very low (< 6000 W/day)",
+    "b": "low (6000-8000 W/day)",
+    "c": "medium (8000-10000 W/day)",
+    "d": "high (10000-12000 W/day)",
+    "e": "very high (> 12000 W/day)",
+}
+
+WEEKDAY = ("1st", "2nd", "3rd", "4th", "5th", "6th", "7th")
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    simulator = PowerConsumptionSimulator(days=365)
+    watts = simulator.values(rng)
+    series = simulator.discretizer.discretize(watts)
+    print(
+        f"one year of daily consumption: n={series.length} days, "
+        f"mean {watts.mean():.0f} W/day, levels a-e"
+    )
+
+    # Mine without any period hint; let the algorithm discover the week.
+    # Patterns are materialised for the base week only: at multiples of 7
+    # every weekly position repeats, so Definition 3's Cartesian space is
+    # astronomically large there and adds nothing over the period-7 view.
+    result = mine(series, psi=0.5, max_period=60, periods=[7], max_arity=5)
+    periods = list(result.candidate_periods)
+    print(f"\ncandidate periods at psi=0.50: {periods}")
+    weekly = [p for p in periods if p % 7 == 0]
+    print(f"weekly structure discovered: {weekly} (all multiples of 7: "
+          f"{all(p % 7 == 0 for p in weekly) and bool(weekly)})")
+
+    print("\nweekly habits (period 7, single-symbol patterns):")
+    for hit in result.table.periodicities(0.5, period=7):
+        level = str(hit.symbol(result.alphabet))
+        print(
+            f"  {LEVEL_MEANING[level]:<28} on the {WEEKDAY[hit.position]} day "
+            f"of the week for {hit.support * 100:.0f}% of the weeks"
+        )
+
+    print("\ncomposite weekly patterns (period 7, top by support):")
+    multi = [p for p in result.patterns_for(7) if p.arity >= 2]
+    for pattern in sorted(multi, key=lambda p: (-p.arity, -p.support))[:5]:
+        print(
+            f"  {pattern.to_string(result.alphabet)}   "
+            f"support {pattern.support * 100:.0f}%"
+        )
+
+    # The habitual thrifty day is a *partial* periodicity: strong enough
+    # to mine at moderate thresholds, absent at strict ones.
+    for psi in (0.8, 0.6, 0.4):
+        hits = result.table.periodicities(psi, period=7)
+        has_low = any(
+            str(h.symbol(result.alphabet)) == "a" for h in hits
+        )
+        print(
+            f"\npsi={psi:.1f}: {len(hits)} weekly periodicities; "
+            f"very-low habit visible: {has_low}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Calendar interpretation of mined periods.
+
+The paper reads its raw periods in natural units — "a period of 168
+hours (24*7) can be explained as the weekly pattern", "3961 hours shows
+a periodicity of exactly 5.5 months plus one hour".  This module
+automates that reading: given the sampling interval of the series, it
+names each period in calendar units and points out near-misses of
+well-known cycles (the off-by-one-hour DST signature included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PeriodDescription", "describe_period", "SECONDS"]
+
+#: Seconds per named calendar unit, largest first.
+SECONDS = {
+    "year": 365 * 86_400,
+    "month": 30 * 86_400,
+    "week": 7 * 86_400,
+    "day": 86_400,
+    "hour": 3_600,
+    "minute": 60,
+    "second": 1,
+}
+
+#: Cycles worth calling out when a period lands near them.
+_LANDMARKS = (
+    ("yearly", 365 * 86_400),
+    ("monthly", 30 * 86_400),
+    ("weekly", 7 * 86_400),
+    ("daily", 86_400),
+    ("hourly", 3_600),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodDescription:
+    """A period translated into calendar terms.
+
+    ``landmark`` names a well-known cycle the period matches or nearly
+    matches; ``offset_samples`` is the signed distance from it, in
+    samples — the paper's "plus one hour" reading (non-zero offsets on
+    an otherwise exact landmark are the obscure-period signature).
+    """
+
+    period: int
+    seconds: float
+    text: str
+    landmark: str | None
+    offset_samples: int
+
+    @property
+    def is_obscure_variant(self) -> bool:
+        """Near a landmark but not on it — e.g. the DST 24k±1 periods."""
+        return self.landmark is not None and self.offset_samples != 0
+
+
+def _render_duration(seconds: float) -> str:
+    remaining = float(seconds)
+    parts: list[str] = []
+    for unit, size in SECONDS.items():
+        if remaining >= size and len(parts) < 2:
+            amount = int(remaining // size)
+            remaining -= amount * size
+            parts.append(f"{amount} {unit}{'s' if amount != 1 else ''}")
+    if not parts:
+        return f"{seconds:g} seconds"
+    return " ".join(parts)
+
+
+def describe_period(
+    period: int,
+    sample_seconds: float,
+    landmark_tolerance: int = 2,
+) -> PeriodDescription:
+    """Describe one period given the sampling interval.
+
+    Parameters
+    ----------
+    period:
+        The period in samples.
+    sample_seconds:
+        Seconds between consecutive samples (3600 for hourly data,
+        86400 for daily data).
+    landmark_tolerance:
+        Maximum distance, in samples, at which a period is associated
+        with a landmark cycle.
+
+    Examples
+    --------
+    >>> describe_period(168, 3600).text
+    '1 week (weekly)'
+    >>> describe_period(25, 3600).is_obscure_variant  # a DST-style 24+1
+    True
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    if sample_seconds <= 0:
+        raise ValueError("sample_seconds must be positive")
+    if landmark_tolerance < 0:
+        raise ValueError("landmark_tolerance must be non-negative")
+    seconds = period * sample_seconds
+    landmark_name: str | None = None
+    offset = 0
+    for name, landmark_seconds in _LANDMARKS:
+        if landmark_seconds <= sample_seconds:
+            continue  # a landmark of one sample would match everything
+        landmark_samples = landmark_seconds / sample_seconds
+        # Associate with the nearest multiple of the landmark.
+        multiple = max(round(period / landmark_samples), 1)
+        distance = period - multiple * landmark_samples
+        if abs(distance) <= landmark_tolerance and float(
+            multiple * landmark_samples
+        ).is_integer():
+            landmark_name = name if multiple == 1 else f"{multiple}x {name}"
+            offset = int(round(distance))
+            break
+    duration = _render_duration(seconds)
+    if landmark_name is None:
+        text = duration
+    elif offset == 0:
+        text = f"{duration} ({landmark_name})"
+    else:
+        sign = "+" if offset > 0 else "-"
+        text = (
+            f"{duration} ({landmark_name} {sign} {abs(offset)} "
+            f"sample{'s' if abs(offset) != 1 else ''})"
+        )
+    return PeriodDescription(
+        period=period,
+        seconds=seconds,
+        text=text,
+        landmark=landmark_name,
+        offset_samples=offset,
+    )

@@ -1,0 +1,93 @@
+"""Base periods and harmonic grouping of detected periods.
+
+A true period ``P`` resurfaces at every multiple — the paper's Table 1
+lists 24, 48, 72, … and argues "the smaller periods are more accurate
+than the larger ones since they are more informative" (its critique of
+the trends baseline's bias).  This module turns that argument into an
+operation: collapse a detected period set into *base periods* (those not
+explained as a multiple of a stronger, smaller detection) plus their
+harmonic families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.periodicity import PeriodicityTable
+
+__all__ = ["HarmonicFamily", "base_periods", "group_harmonics"]
+
+
+@dataclass(frozen=True, slots=True)
+class HarmonicFamily:
+    """A base period with the detected multiples it explains."""
+
+    base: int
+    confidence: float
+    harmonics: tuple[int, ...]
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Base period plus harmonics, ascending."""
+        return (self.base,) + self.harmonics
+
+
+def group_harmonics(
+    periods: list[int],
+    confidence_of,
+    tolerance: float = 0.1,
+) -> list[HarmonicFamily]:
+    """Group detected periods into harmonic families.
+
+    A period joins the family of the smallest detected divisor whose
+    confidence is within ``tolerance`` of (or above) its own — i.e. the
+    multiple adds no information the base did not already carry.
+    Periods with no such divisor become bases themselves.  Families are
+    returned by descending base confidence, then ascending base.
+
+    ``confidence_of`` maps a period to its confidence (any score works:
+    Definition 1 supports, segment supports, warped confidences).
+    """
+    if not 0 <= tolerance <= 1:
+        raise ValueError("tolerance must lie in [0, 1]")
+    detected = sorted(set(int(p) for p in periods))
+    if any(p < 1 for p in detected):
+        raise ValueError("periods must be positive")
+    bases: dict[int, list[int]] = {}
+    for period in detected:
+        owner = None
+        for base in sorted(bases):
+            if period % base == 0 and confidence_of(base) + tolerance >= confidence_of(period):
+                owner = base
+                break
+        if owner is None:
+            bases[period] = []
+        else:
+            bases[owner].append(period)
+    families = [
+        HarmonicFamily(
+            base=base,
+            confidence=float(confidence_of(base)),
+            harmonics=tuple(members),
+        )
+        for base, members in bases.items()
+    ]
+    families.sort(key=lambda f: (-f.confidence, f.base))
+    return families
+
+
+def base_periods(
+    table: PeriodicityTable,
+    psi: float,
+    min_pairs: int = 1,
+    tolerance: float = 0.1,
+) -> list[HarmonicFamily]:
+    """Harmonic families of a table's candidate periods at ``psi``.
+
+    The usual front door: mine, then ask for the informative bases —
+    e.g. the retail table's [24, 48, 72, 96, 168, …] collapses to a
+    period-24 family (with 168 surviving as its own base only when its
+    confidence genuinely exceeds what period 24 explains).
+    """
+    periods = table.candidate_periods(psi, min_pairs=min_pairs)
+    return group_harmonics(periods, table.confidence, tolerance=tolerance)

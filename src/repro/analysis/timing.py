@@ -1,0 +1,30 @@
+"""Small wall-clock measurement helpers for the timing experiments."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["Timing", "time_callable"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """Wall-clock timings of repeated calls, seconds."""
+
+    best: float
+    mean: float
+    repeats: int
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> Timing:
+    """Run ``fn`` ``repeats`` times and report best and mean seconds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return Timing(best=min(samples), mean=sum(samples) / repeats, repeats=repeats)

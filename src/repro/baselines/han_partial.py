@@ -1,0 +1,99 @@
+"""Partial periodic pattern mining for a *known* period ([11], Han et al.).
+
+The classical second stage of every multi-pass pipeline the paper
+discusses: once a candidate period ``p`` is known, mine all partial
+periodic patterns of length ``p`` Apriori-style.  Following Han et al.,
+a pattern's frequency counts the period segments it matches (each
+segment independently), over ``floor(n / p)`` full segments — note this
+differs from the EDBT paper's consecutive-repetition (``F2``) support,
+which is what lets the two notions be compared in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.patterns import PeriodicPattern
+from ..core.sequence import SymbolSequence
+
+__all__ = ["HanPartialMiner"]
+
+
+class HanPartialMiner:
+    """Apriori miner of partial periodic patterns at a given period.
+
+    Parameters
+    ----------
+    min_confidence:
+        Minimum fraction of segments a pattern must match.
+    max_arity:
+        Cap on fixed positions per pattern (``None`` = unbounded).
+    """
+
+    def __init__(self, min_confidence: float = 0.5, max_arity: int | None = None):
+        if not 0 < min_confidence <= 1:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self._min_confidence = min_confidence
+        self._max_arity = max_arity
+
+    def segments(self, series: SymbolSequence, period: int) -> np.ndarray:
+        """The series cut into its ``floor(n/p)`` full period segments."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        full = series.length // period
+        return series.codes[: full * period].reshape(full, period)
+
+    def mine(self, series: SymbolSequence, period: int) -> list[PeriodicPattern]:
+        """All partial periodic patterns at ``period``, support-sorted.
+
+        Level-wise search: frequent single positions first, then joins
+        growing rightwards, pruned by ``min_confidence`` — the Apriori
+        property holds because a pattern matches no more segments than
+        any of its sub-patterns.
+        """
+        matrix = self.segments(series, period)
+        rows = matrix.shape[0]
+        if rows == 0:
+            return []
+        threshold = self._min_confidence * rows
+
+        # Level 1: frequent (position, symbol) items.
+        item_masks: dict[tuple[int, int], np.ndarray] = {}
+        out: list[PeriodicPattern] = []
+        for l in range(period):
+            column = matrix[:, l]
+            for k in np.unique(column):
+                mask = column == k
+                count = int(np.count_nonzero(mask))
+                if count >= threshold:
+                    item = (int(l), int(k))
+                    item_masks[item] = mask
+                    out.append(
+                        PeriodicPattern.single(period, int(l), int(k), count / rows)
+                    )
+
+        frontier: dict[tuple[tuple[int, int], ...], np.ndarray] = {
+            (item,): mask for item, mask in item_masks.items()
+        }
+        arity = 1
+        while frontier and (self._max_arity is None or arity < self._max_arity):
+            next_frontier: dict[tuple[tuple[int, int], ...], np.ndarray] = {}
+            for itemset, mask in frontier.items():
+                last_position = itemset[-1][0]
+                for item, item_mask in item_masks.items():
+                    if item[0] <= last_position:
+                        continue
+                    joined = mask & item_mask
+                    count = int(np.count_nonzero(joined))
+                    if count >= threshold:
+                        grown = itemset + (item,)
+                        next_frontier[grown] = joined
+                        out.append(
+                            PeriodicPattern.from_items(
+                                period, dict(grown), count / rows
+                            )
+                        )
+            frontier = next_frontier
+            arity += 1
+        out.sort(key=lambda p: (-p.support, p.arity))
+        return out

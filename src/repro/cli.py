@@ -1,0 +1,323 @@
+"""Command-line interface: mine, inspect, generate, and reproduce.
+
+Installed as the ``repro`` console script (also ``python -m repro``):
+
+* ``repro mine SERIES.txt --psi 0.7`` — mine obscure periodic patterns
+  from a one-character-per-symbol text file;
+* ``repro periods SERIES.txt --psi 0.5 [--significant]`` — list the
+  candidate periods (optionally filtered by the binomial null test);
+* ``repro generate {synthetic,power,retail,eventlog} --out FILE`` —
+  write workload files with the paper's generators;
+* ``repro experiment {fig3,fig4,fig5,fig6,table1,table2,table3}`` —
+  regenerate one table or figure of the paper and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis.significance import significant_periods
+from .core import Alphabet, SymbolSequence, mine
+from .core.spectral_miner import SpectralMiner
+from .data import (
+    EventLogSimulator,
+    PowerConsumptionSimulator,
+    RetailTransactionsSimulator,
+    apply_noise,
+    generate_periodic,
+)
+from .streaming import write_symbol_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Obscure periodic pattern mining in one pass (EDBT 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine_cmd = commands.add_parser("mine", help="mine patterns from a symbol file")
+    mine_cmd.add_argument("series", type=Path, help="one-character-per-symbol file")
+    mine_cmd.add_argument("--psi", type=float, required=True,
+                          help="periodicity threshold in (0, 1]")
+    mine_cmd.add_argument("--alphabet", default=None,
+                          help="symbol order, e.g. 'abcde' (default: sorted)")
+    mine_cmd.add_argument("--algorithm", choices=("spectral", "convolution"),
+                          default="spectral")
+    mine_cmd.add_argument("--max-period", type=int, default=None)
+    mine_cmd.add_argument("--periods", default=None,
+                          help="comma-separated periods to mine patterns at")
+    mine_cmd.add_argument("--max-arity", type=int, default=None)
+    mine_cmd.add_argument("--top", type=int, default=20,
+                          help="patterns to print (by support)")
+
+    periods_cmd = commands.add_parser(
+        "periods", help="list candidate periods of a symbol file"
+    )
+    periods_cmd.add_argument("series", type=Path)
+    periods_cmd.add_argument("--psi", type=float, required=True)
+    periods_cmd.add_argument("--alphabet", default=None)
+    periods_cmd.add_argument("--max-period", type=int, default=None)
+    periods_cmd.add_argument("--min-pairs", type=int, default=1)
+    periods_cmd.add_argument("--significant", action="store_true",
+                             help="keep only binomially significant periods")
+    periods_cmd.add_argument("--alpha", type=float, default=1e-3)
+    periods_cmd.add_argument("--bases", action="store_true",
+                             help="collapse harmonic families to base periods")
+    periods_cmd.add_argument("--sample-seconds", type=float, default=None,
+                             help="sampling interval; names periods in "
+                                  "calendar units and flags DST-style variants")
+
+    generate_cmd = commands.add_parser("generate", help="write a workload file")
+    generate_cmd.add_argument(
+        "workload", choices=("synthetic", "power", "retail", "eventlog")
+    )
+    generate_cmd.add_argument("--out", type=Path, required=True)
+    generate_cmd.add_argument("--seed", type=int, default=2004)
+    generate_cmd.add_argument("--length", type=int, default=10_000,
+                              help="synthetic/eventlog length in symbols")
+    generate_cmd.add_argument("--period", type=int, default=25,
+                              help="synthetic embedded period")
+    generate_cmd.add_argument("--sigma", type=int, default=10,
+                              help="synthetic alphabet size")
+    generate_cmd.add_argument("--distribution", choices=("uniform", "normal"),
+                              default="uniform")
+    generate_cmd.add_argument("--noise", type=float, default=0.0,
+                              help="noise ratio in [0, 1]")
+    generate_cmd.add_argument("--noise-kinds", default="R",
+                              help="noise combination, e.g. R, I-D, R-I-D")
+    generate_cmd.add_argument("--days", type=int, default=None,
+                              help="power/retail length in days")
+    generate_cmd.add_argument("--dst", action="store_true",
+                              help="retail: apply the daylight-saving shift")
+
+    forecast_cmd = commands.add_parser(
+        "forecast", help="predict upcoming symbols from mined periodicity"
+    )
+    forecast_cmd.add_argument("series", type=Path)
+    forecast_cmd.add_argument("--horizon", type=int, required=True)
+    forecast_cmd.add_argument("--period", type=int, default=None,
+                              help="condition on this period (default: discover)")
+    forecast_cmd.add_argument("--max-period", type=int, default=None)
+    forecast_cmd.add_argument("--alphabet", default=None)
+    forecast_cmd.add_argument("--evaluate", action="store_true",
+                              help="hold out the horizon and report accuracy")
+
+    experiment_cmd = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment_cmd.add_argument(
+        "name",
+        choices=("fig3", "fig3b", "fig4", "fig4b", "fig5", "fig6",
+                 "table1", "table2", "table3", "all"),
+    )
+    experiment_cmd.add_argument("--quick", action="store_true",
+                                help="smaller workloads (seconds, not minutes)")
+    experiment_cmd.add_argument("--report", type=Path, default=None,
+                                help="with 'all': also write a markdown report")
+    return parser
+
+
+def _load_series(path: Path, alphabet_spec: str | None) -> SymbolSequence:
+    text = path.read_text(encoding="ascii").strip()
+    if not text:
+        raise SystemExit(f"error: {path} is empty")
+    alphabet = Alphabet(alphabet_spec) if alphabet_spec else None
+    try:
+        return SymbolSequence.from_string(text, alphabet)
+    except KeyError as error:
+        raise SystemExit(f"error: symbol {error} not in the given alphabet")
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    series = _load_series(args.series, args.alphabet)
+    periods = (
+        [int(p) for p in args.periods.split(",")] if args.periods else None
+    )
+    result = mine(
+        series,
+        psi=args.psi,
+        algorithm=args.algorithm,
+        max_period=args.max_period,
+        periods=periods,
+        max_arity=args.max_arity,
+    )
+    print(f"series: n={series.length}, sigma={series.sigma}")
+    print(result.render(limit=args.top))
+    return 0
+
+
+def _cmd_periods(args: argparse.Namespace) -> int:
+    series = _load_series(args.series, args.alphabet)
+    miner = SpectralMiner(psi=args.psi, max_period=args.max_period)
+    table = miner.periodicity_table(series)
+    if args.significant:
+        periods = significant_periods(
+            series, table, args.psi, alpha=args.alpha, min_pairs=args.min_pairs
+        )
+    else:
+        periods = table.candidate_periods(args.psi, min_pairs=args.min_pairs)
+    print(f"candidate periods at psi={args.psi:.2f}: {len(periods)}")
+    if args.bases:
+        from .analysis.harmonics import group_harmonics
+
+        for family in group_harmonics(periods, table.confidence):
+            harmonics = ", ".join(map(str, family.harmonics)) or "-"
+            print(
+                f"  base {family.base:>6}  confidence {family.confidence:.3f}"
+                f"  harmonics: {harmonics}"
+            )
+    else:
+        describe = None
+        if args.sample_seconds is not None:
+            from .analysis.calendar import describe_period
+
+            describe = describe_period
+        for period in periods:
+            line = f"  {period:>6}  confidence {table.confidence(period):.3f}"
+            if describe is not None:
+                description = describe(period, args.sample_seconds)
+                marker = "  [obscure]" if description.is_obscure_variant else ""
+                line += f"  = {description.text}{marker}"
+            print(line)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.workload == "synthetic":
+        series = generate_periodic(
+            args.length, args.period, args.sigma, args.distribution, rng
+        )
+        if args.noise > 0:
+            series = apply_noise(series, args.noise, args.noise_kinds, rng)
+    elif args.workload == "power":
+        series = PowerConsumptionSimulator(days=args.days or 365).series(rng)
+    elif args.workload == "retail":
+        series = RetailTransactionsSimulator(
+            days=args.days or 456, dst=args.dst
+        ).series(rng)
+    else:
+        series = EventLogSimulator(length=args.length).series(rng)
+    write_symbol_file(series, args.out)
+    print(f"wrote {series.length} symbols (sigma={series.sigma}) to {args.out}")
+    return 0
+
+
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    from .analysis.forecast import PeriodicForecaster, evaluate_forecaster
+
+    series = _load_series(args.series, args.alphabet)
+    if args.evaluate:
+        evaluation = evaluate_forecaster(
+            series, args.horizon, period=args.period, max_period=args.max_period
+        )
+        print(
+            f"hold-out accuracy over {evaluation.horizon} symbols: "
+            f"{evaluation.accuracy:.3f} "
+            f"(mode baseline {evaluation.baseline_accuracy:.3f}, "
+            f"lift {evaluation.lift:+.3f})"
+        )
+        return 0
+    forecaster = PeriodicForecaster(
+        period=args.period, max_period=args.max_period
+    ).fit(series)
+    predicted = forecaster.predict(args.horizon)
+    print(f"period: {forecaster.period}")
+    print("forecast: " + "".join(map(str, predicted)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        from .experiments import run_all, write_report
+
+        results = run_all(quick=args.quick)
+        for name, text in results.items():
+            print(f"==== {name} ====")
+            print(text)
+            print()
+        if args.report is not None:
+            path = write_report(results, args.report)
+            print(f"report written to {path}")
+        return 0
+
+    from .experiments import (
+        Fig3Config, Fig4Config, Fig5Config, Fig6Config,
+        Table1Config, Table2Config, Table3Config,
+        render_fig3, render_fig4, render_fig5, render_fig6,
+        render_table1, render_table2, render_table3,
+    )
+
+    quick = args.quick
+    renderers = {
+        "fig3": lambda: render_fig3(
+            Fig3Config(runs=1, length=10_000) if quick else Fig3Config()
+        ),
+        "fig3b": lambda: render_fig3(
+            Fig3Config(noisy=True, runs=1, length=10_000)
+            if quick else Fig3Config(noisy=True)
+        ),
+        "fig4": lambda: render_fig4(
+            Fig4Config(runs=1, length=4_000, method="exact")
+            if quick else Fig4Config()
+        ),
+        "fig4b": lambda: render_fig4(
+            Fig4Config(noisy=True, runs=1, length=4_000, method="exact")
+            if quick else Fig4Config(noisy=True)
+        ),
+        "fig5": lambda: render_fig5(
+            Fig5Config(sizes=(4_096, 8_192, 16_384), repeats=2)
+            if quick else Fig5Config()
+        ),
+        "fig6": lambda: render_fig6(
+            Fig6Config(runs=1, length=10_000, ratios=(0.0, 0.2, 0.4))
+            if quick else Fig6Config()
+        ),
+        "table1": lambda: render_table1(
+            Table1Config(retail_days=120, retail_max_period=200)
+            if quick else Table1Config()
+        ),
+        "table2": lambda: render_table2(
+            Table2Config(retail_days=120) if quick else Table2Config()
+        ),
+        "table3": lambda: render_table3(
+            Table3Config(retail_days=120) if quick else Table3Config()
+        ),
+    }
+    print(renderers[args.name]())
+    return 0
+
+
+_HANDLERS = {
+    "mine": _cmd_mine,
+    "periods": _cmd_periods,
+    "generate": _cmd_generate,
+    "forecast": _cmd_forecast,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

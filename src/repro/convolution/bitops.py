@@ -1,0 +1,94 @@
+"""Bit-parallel witness extraction over packed word arrays.
+
+The exact miner's ``bitand`` engine evaluates the paper's convolution
+component for shift ``p`` as ``X & (X >> sigma*p)`` on one huge Python
+integer.  This module re-implements the same computation over a numpy
+``uint64`` array, which scales the *faithful* algorithm to millions of
+symbols: shifting a packed word array by ``b`` bits is two vectorised
+shifts and an OR, and witness decoding is a vectorised bit scan.
+
+Bit convention (matches :mod:`repro.core.convolution_miner`): bit ``e``
+of the packed array — bit ``e % 64`` of word ``e // 64`` — equals entry
+``total - 1 - e`` of the binary vector ``T'``, i.e. the series is read
+as one big binary number whose most significant bit is position 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_positions",
+    "shift_right",
+    "word_and",
+    "set_bit_positions",
+    "shifted_self_and",
+]
+
+_WORD = 64
+
+
+def pack_positions(positions: np.ndarray, total_bits: int) -> np.ndarray:
+    """Pack set-bit positions into a little-endian ``uint64`` word array.
+
+    Equivalent to :func:`repro.convolution.bigint.pack_bits` but returns
+    the words instead of one Python integer.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size and (positions.min() < 0 or positions.max() >= total_bits):
+        raise ValueError("bit position out of range")
+    words = np.zeros((total_bits + _WORD - 1) // _WORD, dtype=np.uint64)
+    if positions.size:
+        np.bitwise_or.at(
+            words,
+            positions // _WORD,
+            np.uint64(1) << (positions % _WORD).astype(np.uint64),
+        )
+    return words
+
+
+def shift_right(words: np.ndarray, bits: int) -> np.ndarray:
+    """The packed array logically shifted right by ``bits`` (``>>``)."""
+    if bits < 0:
+        raise ValueError("shift must be non-negative")
+    words = np.asarray(words, dtype=np.uint64)
+    word_shift, bit_shift = divmod(bits, _WORD)
+    if word_shift >= words.size:
+        return np.zeros_like(words)
+    shifted = np.zeros_like(words)
+    shifted[: words.size - word_shift] = words[word_shift:]
+    if bit_shift:
+        carry = np.zeros_like(shifted)
+        carry[:-1] = shifted[1:] << np.uint64(_WORD - bit_shift)
+        shifted = (shifted >> np.uint64(bit_shift)) | carry
+    return shifted
+
+
+def word_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise AND of two packed arrays."""
+    return np.asarray(a, dtype=np.uint64) & np.asarray(b, dtype=np.uint64)
+
+
+def set_bit_positions(words: np.ndarray) -> np.ndarray:
+    """Ascending set-bit positions of a packed array (bit 0 = LSB of word 0)."""
+    words = np.asarray(words, dtype=np.uint64)
+    nonzero = np.nonzero(words)[0]
+    if nonzero.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # Expand only the non-zero words into bits (bounded by 64x blowup of
+    # the sparse part, not of the whole array).
+    chunks = []
+    bytes_view = words[nonzero].view(np.uint8).reshape(nonzero.size, 8)
+    bits = np.unpackbits(bytes_view, axis=1, bitorder="little")
+    local = np.nonzero(bits)
+    chunks = nonzero[local[0]] * _WORD + local[1]
+    return np.sort(chunks.astype(np.int64))
+
+
+def shifted_self_and(words: np.ndarray, bits: int) -> np.ndarray:
+    """Witness positions of ``X & (X >> bits)`` — one exact component.
+
+    This is the paper's modified-convolution component for a bit shift
+    of ``bits``, computed entirely with vectorised word operations.
+    """
+    return set_bit_positions(word_and(words, shift_right(words, bits)))

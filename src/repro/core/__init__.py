@@ -1,0 +1,80 @@
+"""Core model and miners: the paper's primary contribution.
+
+Public surface:
+
+* data model — :class:`Alphabet`, :class:`SymbolSequence`, projections;
+* evidence — :class:`SymbolPeriodicity`, :class:`PeriodicityTable`;
+* miners — :class:`ConvolutionMiner` (exact, Fig. 2 of the paper) and
+  :class:`SpectralMiner` (scalable FFT, identical output);
+* patterns — :class:`PeriodicPattern`, candidate generation, and the
+  :func:`mine` facade returning a :class:`MiningResult`.
+"""
+
+from .alphabet import Alphabet
+from .sequence import SymbolSequence
+from .projection import (
+    f2,
+    f2_projection,
+    f2_table_for_period,
+    projection,
+    projection_length,
+    projection_pairs,
+)
+from .mapping import (
+    Witness,
+    binary_vector,
+    binary_vector_bits,
+    decode_witness,
+    witness_power,
+    witnesses_to_f2_table,
+)
+from .periodicity import PeriodicityTable, SymbolPeriodicity
+from .convolution_miner import ConvolutionMiner
+from .spectral_miner import SpectralMiner
+from .patterns import DONT_CARE, PeriodicPattern
+from .candidates import (
+    cartesian_candidates,
+    mine_patterns,
+    pattern_support,
+    segment_match_matrix,
+    single_symbol_patterns,
+)
+from .results import MiningResult, mine
+from .segment import SegmentPeriodicity, segment_periodicities, segment_supports
+from .pattern_text import parse_pattern, pattern_support_curve, segment_matches
+
+__all__ = [
+    "Alphabet",
+    "SymbolSequence",
+    "f2",
+    "f2_projection",
+    "f2_table_for_period",
+    "projection",
+    "projection_length",
+    "projection_pairs",
+    "Witness",
+    "binary_vector",
+    "binary_vector_bits",
+    "decode_witness",
+    "witness_power",
+    "witnesses_to_f2_table",
+    "PeriodicityTable",
+    "SymbolPeriodicity",
+    "ConvolutionMiner",
+    "SpectralMiner",
+    "DONT_CARE",
+    "PeriodicPattern",
+    "cartesian_candidates",
+    "mine_patterns",
+    "pattern_support",
+    "segment_match_matrix",
+    "single_symbol_patterns",
+    "MiningResult",
+    "mine",
+    "SegmentPeriodicity",
+    "segment_periodicities",
+    "segment_supports",
+    "parse_pattern",
+    "pattern_support_curve",
+    "segment_matches",
+]

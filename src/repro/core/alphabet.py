@@ -1,0 +1,126 @@
+"""Finite alphabets of time-series symbols.
+
+The paper (Sect. 2.1) models a time series as a string over a finite
+alphabet ``Sigma = {a, b, c, ...}`` obtained either by discretizing numeric
+feature values into nominal levels or by naming nominal event types.  An
+:class:`Alphabet` fixes an *ordering* of the symbols, which the mining
+algorithm needs: symbol ``s_k`` is mapped to the binary representation of
+``2**k`` (Sect. 3.2), so the integer code ``k`` of each symbol must be
+stable for the lifetime of a mining run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Hashable
+
+__all__ = ["Alphabet", "DEFAULT_SYMBOLS"]
+
+#: Symbols used when an alphabet is built from a requested size only.
+DEFAULT_SYMBOLS = "abcdefghijklmnopqrstuvwxyz"
+
+
+class Alphabet:
+    """An ordered, immutable set of symbols with integer codes.
+
+    Parameters
+    ----------
+    symbols:
+        The symbols in code order: ``symbols[k]`` receives code ``k``.
+        Symbols may be any hashable values (typically one-character
+        strings); duplicates are rejected.
+
+    Examples
+    --------
+    >>> sigma = Alphabet("abc")
+    >>> sigma.code("b")
+    1
+    >>> sigma.symbol(2)
+    'c'
+    >>> len(sigma)
+    3
+    """
+
+    __slots__ = ("_symbols", "_codes")
+
+    def __init__(self, symbols: Iterable[Hashable]):
+        self._symbols: tuple[Hashable, ...] = tuple(symbols)
+        if not self._symbols:
+            raise ValueError("an alphabet needs at least one symbol")
+        self._codes: dict[Hashable, int] = {
+            s: k for k, s in enumerate(self._symbols)
+        }
+        if len(self._codes) != len(self._symbols):
+            raise ValueError(f"duplicate symbols in {self._symbols!r}")
+
+    @classmethod
+    def of_size(cls, size: int) -> "Alphabet":
+        """Build an alphabet of ``size`` single-character symbols.
+
+        Sizes up to 26 use ``a..z``; larger alphabets fall back to
+        ``s0, s1, ...`` names.
+        """
+        if size < 1:
+            raise ValueError("alphabet size must be positive")
+        if size <= len(DEFAULT_SYMBOLS):
+            return cls(DEFAULT_SYMBOLS[:size])
+        return cls(f"s{k}" for k in range(size))
+
+    @classmethod
+    def from_sequence(cls, values: Iterable[Hashable]) -> "Alphabet":
+        """Build an alphabet from the distinct values of ``values``.
+
+        Symbols are ordered by first appearance, which keeps codes
+        deterministic for a given input.
+        """
+        seen: dict[Hashable, None] = {}
+        for v in values:
+            seen.setdefault(v)
+        return cls(seen)
+
+    # -- look-ups ---------------------------------------------------------
+
+    def code(self, symbol: Hashable) -> int:
+        """Return the integer code of ``symbol`` (raises ``KeyError``)."""
+        return self._codes[symbol]
+
+    def symbol(self, code: int) -> Hashable:
+        """Return the symbol with integer code ``code``."""
+        return self._symbols[code]
+
+    def encode(self, symbols: Iterable[Hashable]) -> list[int]:
+        """Encode an iterable of symbols into integer codes."""
+        codes = self._codes
+        return [codes[s] for s in symbols]
+
+    def decode(self, codes: Iterable[int]) -> list[Hashable]:
+        """Decode integer codes back into symbols."""
+        symbols = self._symbols
+        return [symbols[c] for c in codes]
+
+    @property
+    def symbols(self) -> tuple[Hashable, ...]:
+        """The symbols in code order."""
+        return self._symbols
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._symbols)
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._codes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(map(str, self._symbols))!r})"

@@ -1,0 +1,132 @@
+"""Periodic patterns with don't-care positions (Definitions 2 and 3).
+
+A *periodic pattern* of length ``p`` fixes a symbol in some positions
+and leaves the rest as the don't-care symbol ``*``.  A *single-symbol*
+pattern (Definition 2) fixes exactly one position; multi-symbol
+candidates arise from the Cartesian product of the per-position periodic
+symbol sets (Definition 3).
+
+Support conventions, following the paper's worked examples:
+
+* single-symbol pattern ``(s, p, l)``:
+  ``F2(s, pi_{p,l}(T)) / (|pi_{p,l}(T)| - 1)``;
+* multi-symbol pattern: ``|W'_p| / (ceil(n/p) - 1)`` where ``W'_p``
+  aligns one witness per fixed position *within the same repetition*
+  of the period — equivalently, the number of adjacent period-segment
+  pairs in which every fixed position repeats its symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .alphabet import Alphabet
+
+__all__ = ["DONT_CARE", "PeriodicPattern"]
+
+#: Rendering of the don't-care symbol.
+DONT_CARE = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodicPattern:
+    """A periodic pattern: fixed symbol codes by position, plus support.
+
+    Attributes
+    ----------
+    period:
+        The pattern length ``p``.
+    slots:
+        Length-``p`` tuple; entry ``l`` is a symbol code or ``None`` for
+        the don't-care symbol.
+    support:
+        The (estimated) support in ``[0, 1]``.  Excluded from equality
+        and hashing so the same pattern mined at different thresholds
+        compares equal.
+    """
+
+    period: int
+    slots: tuple[int | None, ...]
+    support: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("pattern period must be >= 1")
+        if len(self.slots) != self.period:
+            raise ValueError(
+                f"pattern of period {self.period} needs {self.period} slots, "
+                f"got {len(self.slots)}"
+            )
+        if not 0.0 <= self.support <= 1.0:
+            raise ValueError("support must lie in [0, 1]")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def single(
+        cls, period: int, position: int, symbol_code: int, support: float = 0.0
+    ) -> "PeriodicPattern":
+        """The single-symbol pattern with ``s_k`` at ``position``."""
+        if not 0 <= position < period:
+            raise ValueError(f"position {position} out of range for period {period}")
+        slots: list[int | None] = [None] * period
+        slots[position] = symbol_code
+        return cls(period, tuple(slots), support)
+
+    @classmethod
+    def from_items(
+        cls, period: int, items: dict[int, int], support: float = 0.0
+    ) -> "PeriodicPattern":
+        """Build from a ``{position: symbol_code}`` mapping."""
+        slots: list[int | None] = [None] * period
+        for position, code in items.items():
+            if not 0 <= position < period:
+                raise ValueError(
+                    f"position {position} out of range for period {period}"
+                )
+            slots[position] = code
+        return cls(period, tuple(slots), support)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[tuple[int, int], ...]:
+        """The fixed ``(position, symbol_code)`` pairs, position-sorted."""
+        return tuple(
+            (l, k) for l, k in enumerate(self.slots) if k is not None
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of fixed (non-don't-care) positions."""
+        return sum(1 for k in self.slots if k is not None)
+
+    def with_support(self, support: float) -> "PeriodicPattern":
+        """The same pattern annotated with a support value."""
+        return PeriodicPattern(self.period, self.slots, support)
+
+    def matches_segment(self, segment: tuple[int, ...]) -> bool:
+        """Whether a length-``p`` code segment satisfies the pattern."""
+        if len(segment) != self.period:
+            raise ValueError("segment length must equal the pattern period")
+        return all(
+            k is None or segment[l] == k for l, k in enumerate(self.slots)
+        )
+
+    def to_string(self, alphabet: Alphabet) -> str:
+        """Render as in the paper, e.g. ``'ab*'`` or ``'*b**'``."""
+        rendered: list[str] = []
+        for k in self.slots:
+            rendered.append(DONT_CARE if k is None else str(alphabet.symbol(k)))
+        return "".join(rendered)
+
+    def symbols(self, alphabet: Alphabet) -> dict[int, Hashable]:
+        """The fixed positions as ``{position: symbol}``."""
+        return {l: alphabet.symbol(k) for l, k in self.items}
+
+    def __str__(self) -> str:
+        return (
+            "".join(DONT_CARE if k is None else f"<{k}>" for k in self.slots)
+            + f" @p={self.period} sup={self.support:.3f}"
+        )

@@ -1,0 +1,210 @@
+"""Symbol periodicities and the table both miners produce.
+
+Definition 1 of the paper: in a time series ``T`` of length ``n``, a
+symbol ``s`` is *periodic with period p at position l* with respect to a
+periodicity threshold ``psi`` iff::
+
+    F2(s, pi_{p,l}(T)) / pairs(p, l) >= psi,   0 < psi <= 1
+
+where ``pairs(p, l)`` is the number of adjacent pairs in the projection
+(see :mod:`repro.core.projection`).  The left-hand side is the *support*
+of the corresponding single-symbol pattern (Definition 2).
+
+A :class:`PeriodicityTable` stores the complete evidence — the ``F2``
+counts per ``(period, symbol, position)`` — produced by either mining
+algorithm, and answers the threshold queries the rest of the pipeline
+needs.  Both the faithful big-integer miner and the scalable spectral
+miner emit this exact structure, which is what makes them interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping
+
+from .alphabet import Alphabet
+from .projection import projection_pairs
+
+__all__ = ["SymbolPeriodicity", "PeriodicityTable"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SymbolPeriodicity:
+    """One detected periodicity: symbol ``s`` with period ``p`` at ``l``.
+
+    Attributes
+    ----------
+    period:
+        The period ``p``.
+    position:
+        The starting position ``l`` (``0 <= l < p``).
+    symbol_code:
+        Integer code of the periodic symbol.
+    f2:
+        The consecutive-occurrence count ``F2(s, pi_{p,l}(T))``.
+    pairs:
+        The support denominator (adjacent pairs of the projection).
+    """
+
+    period: int
+    position: int
+    symbol_code: int
+    f2: int
+    pairs: int
+
+    @property
+    def support(self) -> float:
+        """The periodicity support ``F2 / pairs`` (0 when undefined)."""
+        return self.f2 / self.pairs if self.pairs > 0 else 0.0
+
+    def symbol(self, alphabet: Alphabet) -> Hashable:
+        """Resolve the symbol code against an alphabet."""
+        return alphabet.symbol(self.symbol_code)
+
+
+class PeriodicityTable:
+    """Complete ``F2`` evidence for every candidate period of a series.
+
+    Parameters
+    ----------
+    n:
+        Length of the mined series.
+    alphabet:
+        The series alphabet.
+    counts:
+        Mapping ``period -> {(symbol_code, position): f2}``.  Only
+        non-zero counts need to be present.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        alphabet: Alphabet,
+        counts: Mapping[int, Mapping[tuple[int, int], int]],
+    ):
+        self._n = n
+        self._alphabet = alphabet
+        self._counts: dict[int, dict[tuple[int, int], int]] = {
+            int(p): {k: int(v) for k, v in table.items() if v}
+            for p, table in counts.items()
+        }
+
+    # -- raw access ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Length of the mined series."""
+        return self._n
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet of the mined series."""
+        return self._alphabet
+
+    @property
+    def periods(self) -> list[int]:
+        """All periods with at least one non-zero ``F2`` count."""
+        return sorted(p for p, t in self._counts.items() if t)
+
+    def f2(self, period: int, symbol_code: int, position: int) -> int:
+        """``F2(s_k, pi_{p,l}(T))`` — zero when not recorded."""
+        return self._counts.get(period, {}).get((symbol_code, position), 0)
+
+    def counts_for(self, period: int) -> dict[tuple[int, int], int]:
+        """The ``(symbol_code, position) -> F2`` table of one period."""
+        return dict(self._counts.get(period, {}))
+
+    def support(self, period: int, symbol_code: int, position: int) -> float:
+        """Support of the single-symbol pattern ``(s_k, p, l)``."""
+        pairs = projection_pairs(self._n, period, position)
+        if pairs <= 0:
+            return 0.0
+        return self.f2(period, symbol_code, position) / pairs
+
+    # -- threshold queries -----------------------------------------------------
+
+    def periodicities(
+        self, psi: float, period: int | None = None, min_pairs: int = 1
+    ) -> list[SymbolPeriodicity]:
+        """All symbol periodicities with support ``>= psi`` (Definition 1).
+
+        Restricted to one ``period`` when given; sorted by
+        ``(period, position, symbol_code)``.  ``min_pairs`` (default 1,
+        the paper's definition) discards periodicities whose projection
+        has fewer adjacent pairs — raising it suppresses the trivial
+        certainty of near-``n/2`` periods whose support denominator is 1.
+        """
+        if not 0 < psi <= 1:
+            raise ValueError("the periodicity threshold must be in (0, 1]")
+        if min_pairs < 1:
+            raise ValueError("min_pairs must be >= 1")
+        hits: list[SymbolPeriodicity] = []
+        items: Iterator[tuple[int, dict[tuple[int, int], int]]]
+        if period is None:
+            items = iter(sorted(self._counts.items()))
+        else:
+            items = iter([(period, self._counts.get(period, {}))])
+        for p, table in items:
+            for (k, l), count in table.items():
+                pairs = projection_pairs(self._n, p, l)
+                if pairs >= min_pairs and count >= psi * pairs:
+                    hits.append(SymbolPeriodicity(p, l, k, count, pairs))
+        hits.sort(key=lambda h: (h.period, h.position, h.symbol_code))
+        return hits
+
+    def candidate_periods(self, psi: float, min_pairs: int = 1) -> list[int]:
+        """Periods at which at least one symbol is periodic w.r.t. ``psi``."""
+        return sorted({h.period for h in self.periodicities(psi, min_pairs=min_pairs)})
+
+    def confidence(self, period: int) -> float:
+        """Maximum support of any symbol/position at ``period``.
+
+        This is the "confidence" of the paper's experimental study
+        (Sect. 4.1): the minimum periodicity threshold value at which the
+        period would still be detected.
+        """
+        table = self._counts.get(period)
+        if not table:
+            return 0.0
+        best = 0.0
+        for (k, l), count in table.items():
+            pairs = projection_pairs(self._n, period, l)
+            if pairs > 0:
+                best = max(best, count / pairs)
+        return best
+
+    def merged_with(self, other: "PeriodicityTable") -> "PeriodicityTable":
+        """Sum the ``F2`` evidence of two tables over the same alphabet.
+
+        Used by the streaming layer to combine per-block tables.  The
+        resulting ``n`` is the sum of the two lengths, which matches
+        concatenation only approximately at the block seam (the seam
+        pairs are accounted for separately by the online miner).
+        """
+        if other.alphabet != self._alphabet:
+            raise ValueError("cannot merge tables over different alphabets")
+        merged: dict[int, dict[tuple[int, int], int]] = {
+            p: dict(t) for p, t in self._counts.items()
+        }
+        for p, table in other._counts.items():
+            dst = merged.setdefault(p, {})
+            for key, v in table.items():
+                dst[key] = dst.get(key, 0) + v
+        return PeriodicityTable(self._n + other.n, self._alphabet, merged)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PeriodicityTable):
+            return NotImplemented
+        mine = {p: t for p, t in self._counts.items() if t}
+        theirs = {p: t for p, t in other._counts.items() if t}
+        return (
+            self._n == other._n
+            and self._alphabet == other._alphabet
+            and mine == theirs
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicityTable(n={self._n}, sigma={len(self._alphabet)}, "
+            f"periods={len(self.periods)})"
+        )

@@ -1,0 +1,94 @@
+"""Segment periodicity: whole-period repetition scores.
+
+The paper defines periodicity symbol by symbol (Definition 1).  Its
+companion line of work (the authors' periodicity-detection follow-up)
+also scores *segment periodicity* — how strongly the series repeats as a
+whole at shift ``p``, regardless of which symbol matches where:
+
+    segment_support(p) = |{ j : t_j = t_{j+p} }| / (n - p)
+
+This drops out of the very same convolution the miner already runs —
+``sum_k M_k(p)`` over the per-symbol match counts — so it costs nothing
+extra and makes a convenient first-pass period screen: symbol
+periodicities always imply segment evidence, never the other way
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sequence import SymbolSequence
+from .spectral_miner import SpectralMiner
+
+__all__ = ["SegmentPeriodicity", "segment_supports", "segment_periodicities"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SegmentPeriodicity:
+    """One segment-level periodicity: shift ``period`` with its support."""
+
+    period: int
+    matches: int
+    aligned: int
+
+    @property
+    def support(self) -> float:
+        """Fraction of aligned positions that repeat at this shift."""
+        return self.matches / self.aligned if self.aligned > 0 else 0.0
+
+
+def segment_supports(
+    series: SymbolSequence, max_period: int | None = None
+) -> np.ndarray:
+    """``segment_support(p)`` for every shift ``0..max_period``.
+
+    Entry 0 is 1.0 by convention (a series trivially matches itself).
+    One batch of per-symbol FFT autocorrelations computes all shifts.
+    """
+    n = series.length
+    if n < 2:
+        return np.ones(1)
+    miner = SpectralMiner(max_period=max_period)
+    counts = miner.match_counts(series)
+    max_p = counts.shape[1] - 1
+    totals = counts.sum(axis=0).astype(np.float64)
+    aligned = n - np.arange(max_p + 1, dtype=np.float64)
+    supports = np.divide(totals, aligned, out=np.zeros(max_p + 1), where=aligned > 0)
+    supports[0] = 1.0
+    return supports
+
+
+def segment_periodicities(
+    series: SymbolSequence,
+    psi: float,
+    max_period: int | None = None,
+    min_aligned: int = 2,
+) -> list[SegmentPeriodicity]:
+    """All shifts whose segment support reaches ``psi``, ascending.
+
+    ``min_aligned`` discards shifts so close to ``n`` that almost no
+    positions align (where support 1.0 is vacuous).
+    """
+    if not 0 < psi <= 1:
+        raise ValueError("the periodicity threshold must be in (0, 1]")
+    if min_aligned < 1:
+        raise ValueError("min_aligned must be >= 1")
+    n = series.length
+    supports = segment_supports(series, max_period)
+    out: list[SegmentPeriodicity] = []
+    for p in range(1, supports.size):
+        aligned = n - p
+        if aligned < min_aligned:
+            break
+        if supports[p] >= psi:
+            out.append(
+                SegmentPeriodicity(
+                    period=p,
+                    matches=int(round(supports[p] * aligned)),
+                    aligned=aligned,
+                )
+            )
+    return out

@@ -1,0 +1,91 @@
+"""Loading series from common on-disk formats.
+
+Minimal, dependency-free loaders so real measurements reach the
+pipeline without ceremony: a CSV column of numeric values (for
+:class:`repro.pipeline.PeriodicityPipeline`) or of symbols (for the
+miners directly).  Symbol *files* (one character per symbol) are handled
+by :mod:`repro.streaming.reader`.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.sequence import SymbolSequence
+
+__all__ = ["load_csv_values", "load_csv_symbols"]
+
+
+def _read_column(path: str | os.PathLike, column: str | int) -> list[str]:
+    path = Path(path)
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        if isinstance(column, int):
+            reader = csv.reader(handle)
+            rows = list(reader)
+            if not rows:
+                raise ValueError(f"{path} is empty")
+            start = 0
+            # Tolerate a header row when the first cell is not numeric-ish.
+            first = rows[0][column] if column < len(rows[0]) else ""
+            if first and not _looks_numeric(first):
+                start = 1
+            out = []
+            for line_number, row in enumerate(rows[start:], start=start + 1):
+                if not row:
+                    continue
+                if column >= len(row):
+                    raise ValueError(
+                        f"{path}:{line_number} has no column {column}"
+                    )
+                out.append(row[column])
+            return out
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            raise ValueError(f"{path} has no column named {column!r}")
+        return [row[column] for row in reader if row.get(column) not in (None, "")]
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def load_csv_values(
+    path: str | os.PathLike, column: str | int = 0
+) -> np.ndarray:
+    """Load one numeric CSV column as a float array.
+
+    ``column`` is a header name or a 0-based index; with an index, a
+    non-numeric first row is treated as a header and skipped.
+    """
+    cells = _read_column(path, column)
+    if not cells:
+        raise ValueError(f"column {column!r} of {path} is empty")
+    try:
+        return np.array([float(cell) for cell in cells], dtype=np.float64)
+    except ValueError as error:
+        raise ValueError(f"non-numeric cell in column {column!r}: {error}") from None
+
+
+def load_csv_symbols(
+    path: str | os.PathLike,
+    column: str | int = 0,
+    alphabet: Alphabet | None = None,
+) -> SymbolSequence:
+    """Load one CSV column of symbol labels as a series.
+
+    The alphabet defaults to the distinct labels in order of first
+    appearance.
+    """
+    cells = _read_column(path, column)
+    if not cells:
+        raise ValueError(f"column {column!r} of {path} is empty")
+    return SymbolSequence.from_symbols(cells, alphabet)

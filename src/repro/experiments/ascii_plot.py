@@ -1,0 +1,80 @@
+"""ASCII line charts for the experiment figures.
+
+The paper's Figs. 3-6 are plots; the tables in ``reporting`` carry the
+numbers, and this module adds a terminal rendering of the curves so a
+bench run can be eyeballed against the paper's figures directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Mapping[object, float]],
+    width: int = 64,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render labelled curves as an ASCII chart.
+
+    ``series`` maps curve labels to ``{x: y}`` points; the x values are
+    taken in their union order of appearance and spaced evenly (the
+    figures' x axes are categorical: multiples, ratios, sizes).  Each
+    curve gets a marker from ``o x + * ...``; collisions show the later
+    curve's marker.
+    """
+    if not series:
+        raise ValueError("at least one curve is required")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to render")
+
+    xs: list[object] = []
+    for curve in series.values():
+        for x in curve:
+            if x not in xs:
+                xs.append(x)
+    if not xs:
+        raise ValueError("curves contain no points")
+
+    values = [y for curve in series.values() for y in curve.values()]
+    lo = min(values) if y_min is None else y_min
+    hi = max(values) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for row in range(height):
+        grid[row][0] = "|"
+    for col in range(width):
+        grid[height - 1][col] = "-"
+    grid[height - 1][0] = "+"
+
+    def place(x_index: int, y: float, marker: str) -> None:
+        col = 1 + round((width - 2) * (x_index / max(len(xs) - 1, 1)))
+        fraction = (y - lo) / (hi - lo)
+        fraction = min(max(fraction, 0.0), 1.0)
+        row = (height - 2) - round((height - 2) * fraction)
+        grid[row][col] = marker
+
+    legend = []
+    for index, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in curve.items():
+            place(xs.index(x), float(y), marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {hi:.2f} (top) .. {lo:.2f} (bottom)")
+    lines.extend("".join(row) for row in grid)
+    lines.append("x: " + " ".join(str(x) for x in xs))
+    lines.append("   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment outputs (figure series, tables)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width table, ready to print next to the paper's tables."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str,
+    y_label: str,
+    title: str | None = None,
+) -> str:
+    """Render figure series (one column per labelled curve)."""
+    labels = list(series)
+    xs: list[object] = []
+    for curve in series.values():
+        for x in curve:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + [f"{label} {y_label}" for label in labels]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for label in labels:
+            value = series[label].get(x)
+            row.append("-" if value is None else f"{value:.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,123 @@
+"""Table 2 — periodic single-symbol patterns at the expected periods.
+
+For the retail data the paper explores period 24 and for the power data
+period 7, listing the single-symbol patterns ``(symbol, position)``
+detected per threshold — e.g. "(b,7) ... less than 200 transactions per
+hour occur in the 7th hour of the day ... for 80% of the days".  The
+reproduced structure: the overnight very-low retail patterns at high
+thresholds, opening/closing-band patterns in the middle, the power data's
+habitual-day pattern around 50-60%, and fewer patterns as the threshold
+rises, with strict nesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..core.periodicity import PeriodicityTable
+from ..core.spectral_miner import SpectralMiner
+from ..data.power import PowerConsumptionSimulator
+from ..data.retail import RetailTransactionsSimulator
+from .reporting import format_table
+
+__all__ = ["Table2Config", "Table2Row", "run_table2", "render_table2"]
+
+DEFAULT_THRESHOLDS = (95, 90, 80, 70, 60, 50)
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Config:
+    """Parameters of the Table 2 run."""
+
+    thresholds: tuple[int, ...] = DEFAULT_THRESHOLDS
+    retail_period: int = 24
+    power_period: int = 7
+    retail_days: int = 456
+    power_days: int = 365
+    sample_size: int = 6
+    seed: int = 2004
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Row:
+    """One threshold row: the single-symbol patterns of one period."""
+
+    threshold_percent: int
+    pattern_count: int
+    sample_patterns: tuple[tuple[Hashable, int], ...]
+
+
+def _rows(
+    table: PeriodicityTable,
+    period: int,
+    thresholds: tuple[int, ...],
+    sample_size: int,
+) -> list[Table2Row]:
+    rows = []
+    for percent in thresholds:
+        hits = table.periodicities(percent / 100.0, period=period)
+        patterns = tuple(
+            (h.symbol(table.alphabet), h.position)
+            for h in sorted(hits, key=lambda h: -h.support)
+        )
+        rows.append(
+            Table2Row(
+                threshold_percent=percent,
+                pattern_count=len(patterns),
+                sample_patterns=patterns[:sample_size],
+            )
+        )
+    return rows
+
+
+def run_table2(config: Table2Config = Table2Config()) -> dict[str, list[Table2Row]]:
+    """Mine both datasets and tabulate the expected-period patterns."""
+    if not config.thresholds:
+        raise ValueError("at least one threshold is required")
+    rng = np.random.default_rng(config.seed)
+    retail = RetailTransactionsSimulator(days=config.retail_days).series(rng)
+    power = PowerConsumptionSimulator(days=config.power_days).series(rng)
+    psi_floor = min(config.thresholds) / 100.0
+    retail_table = SpectralMiner(
+        psi=psi_floor, max_period=config.retail_period
+    ).periodicity_table(retail)
+    power_table = SpectralMiner(
+        psi=psi_floor, max_period=config.power_period
+    ).periodicity_table(power)
+    return {
+        "retail": _rows(
+            retail_table, config.retail_period, config.thresholds, config.sample_size
+        ),
+        "power": _rows(
+            power_table, config.power_period, config.thresholds, config.sample_size
+        ),
+    }
+
+
+def render_table2(config: Table2Config = Table2Config()) -> str:
+    """Run and render both halves of the table."""
+    results = run_table2(config)
+    blocks = []
+    for name, label, period in (
+        ("retail", "Wal-Mart-like data", config.retail_period),
+        ("power", "CIMEG-like data", config.power_period),
+    ):
+        rows = results[name]
+        blocks.append(
+            format_table(
+                ["threshold %", "# patterns", "patterns (symbol, position)"],
+                [
+                    [
+                        r.threshold_percent,
+                        r.pattern_count,
+                        " ".join(f"({s},{l})" for s, l in r.sample_patterns) or "-",
+                    ]
+                    for r in rows
+                ],
+                title=f"Table 2 ({label}, period={period}): single-symbol patterns",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,20 @@
+"""Cyclic association rules: Apriori substrate, cycle detection, data.
+
+The periodic-association-rules strand of related work ([17] in the
+paper): rules over per-time-unit transaction bags that hold cyclically.
+"""
+
+from .apriori import Rule, association_rules, frequent_itemsets
+from .cyclic import Cycle, CyclicRule, CyclicRuleMiner
+from .market import MarketBasketSimulator, PlantedCycle
+
+__all__ = [
+    "Rule",
+    "association_rules",
+    "frequent_itemsets",
+    "Cycle",
+    "CyclicRule",
+    "CyclicRuleMiner",
+    "MarketBasketSimulator",
+    "PlantedCycle",
+]

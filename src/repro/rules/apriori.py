@@ -1,0 +1,139 @@
+"""Apriori frequent-itemset and association-rule mining.
+
+The substrate the cyclic-rules miner runs once per time unit — the
+classic algorithm of Agrawal & Srikant (VLDB 1994), which the EDBT paper
+cites for its anti-monotonicity footnote.  Self-contained and small:
+transactions are frozensets of hashable items.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable
+
+__all__ = ["Rule", "frequent_itemsets", "association_rules"]
+
+Itemset = frozenset
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """An association rule ``antecedent -> consequent``."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+
+    @property
+    def items(self) -> Itemset:
+        """The union of both sides."""
+        return self.antecedent | self.consequent
+
+    def render(self) -> str:
+        """Human-readable ``{a, b} -> {c}`` form with metrics."""
+        lhs = "{" + ", ".join(map(str, sorted(self.antecedent, key=str))) + "}"
+        rhs = "{" + ", ".join(map(str, sorted(self.consequent, key=str))) + "}"
+        return f"{lhs} -> {rhs}  (sup {self.support:.2f}, conf {self.confidence:.2f})"
+
+
+def frequent_itemsets(
+    transactions: Sequence[Iterable[Hashable]],
+    min_support: float,
+    max_size: int | None = None,
+) -> dict[Itemset, int]:
+    """All itemsets with support ``>= min_support`` and their counts.
+
+    Level-wise Apriori: candidates of size k+1 join frequent k-itemsets
+    sharing a (k-1)-prefix and are pruned unless every k-subset is
+    frequent, then counted in one pass over the transactions.
+    """
+    if not 0 < min_support <= 1:
+        raise ValueError("min_support must be in (0, 1]")
+    baskets = [frozenset(t) for t in transactions]
+    if not baskets:
+        raise ValueError("at least one transaction is required")
+    threshold = min_support * len(baskets)
+
+    counts: dict[Itemset, int] = {}
+    singles: dict[Hashable, int] = {}
+    for basket in baskets:
+        for item in basket:
+            singles[item] = singles.get(item, 0) + 1
+    frequent: dict[Itemset, int] = {
+        frozenset([item]): count
+        for item, count in singles.items()
+        if count >= threshold
+    }
+    counts.update(frequent)
+
+    size = 1
+    current = sorted(frequent, key=lambda s: tuple(sorted(map(str, s))))
+    while current and (max_size is None or size < max_size):
+        # Join step: merge sets sharing all but one item.
+        candidates: set[Itemset] = set()
+        frontier_set = set(current)
+        for a, b in combinations(current, 2):
+            union = a | b
+            if len(union) == size + 1:
+                if all(
+                    frozenset(subset) in frontier_set
+                    for subset in combinations(union, size)
+                ):
+                    candidates.add(union)
+        if not candidates:
+            break
+        tally: dict[Itemset, int] = {c: 0 for c in candidates}
+        for basket in baskets:
+            if len(basket) <= size:
+                continue
+            for candidate in candidates:
+                if candidate <= basket:
+                    tally[candidate] += 1
+        survivors = {c: n for c, n in tally.items() if n >= threshold}
+        counts.update(survivors)
+        current = sorted(survivors, key=lambda s: tuple(sorted(map(str, s))))
+        size += 1
+    return counts
+
+
+def association_rules(
+    itemset_counts: dict[Itemset, int],
+    transaction_count: int,
+    min_confidence: float,
+) -> list[Rule]:
+    """Rules from frequent itemsets with confidence ``>= min_confidence``.
+
+    Every non-empty proper subset of each frequent itemset is tried as
+    the antecedent; confidence is ``count(itemset) / count(antecedent)``.
+    Sorted by (confidence, support) descending.
+    """
+    if not 0 < min_confidence <= 1:
+        raise ValueError("min_confidence must be in (0, 1]")
+    if transaction_count < 1:
+        raise ValueError("transaction_count must be >= 1")
+    rules: list[Rule] = []
+    for itemset, count in itemset_counts.items():
+        if len(itemset) < 2:
+            continue
+        support = count / transaction_count
+        for size in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset, key=str), size):
+                antecedent = frozenset(antecedent_items)
+                antecedent_count = itemset_counts.get(antecedent)
+                if not antecedent_count:
+                    continue
+                confidence = count / antecedent_count
+                if confidence >= min_confidence:
+                    rules.append(
+                        Rule(
+                            antecedent=antecedent,
+                            consequent=itemset - antecedent,
+                            support=support,
+                            confidence=confidence,
+                        )
+                    )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(sorted(map(str, r.items)))))
+    return rules

@@ -1,0 +1,184 @@
+"""Cyclic association rules (Özden, Ramaswamy, Silberschatz [17], ICDE 1998).
+
+One of the periodicity-mining strands the EDBT paper's introduction
+builds on.  The data is a *sequence of time units*, each holding a bag
+of market-basket transactions; a rule ``X -> Y`` has a **cycle**
+``(p, l)`` when it holds (meets the per-unit support and confidence
+thresholds) in *every* unit congruent to ``l`` modulo ``p``.
+
+Implemented as the published *sequential* algorithm: mine the rules of
+each unit with Apriori, form each rule's binary validity sequence, and
+detect its cycles with the cycle-elimination sieve (an observed miss of
+a rule at unit ``t`` eliminates every ``(p, t mod p)`` at once).  Cycles
+that merely repeat a shorter detected cycle (``p' | p`` and matching
+offset) are suppressed as non-minimal, per the paper's "large cycles
+are redundant" observation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from .apriori import Rule, association_rules, frequent_itemsets
+
+__all__ = ["Cycle", "CyclicRule", "CyclicRuleMiner"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Cycle:
+    """A cycle ``(period, offset)``: holds in every unit ``= offset (mod period)``."""
+
+    period: int
+    offset: int
+
+
+@dataclass(frozen=True, slots=True)
+class CyclicRule:
+    """A rule together with its detected (minimal) cycles."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    cycles: tuple[Cycle, ...]
+    held_units: tuple[int, ...]
+
+    def render(self) -> str:
+        lhs = "{" + ", ".join(map(str, sorted(self.antecedent, key=str))) + "}"
+        rhs = "{" + ", ".join(map(str, sorted(self.consequent, key=str))) + "}"
+        cycles = ", ".join(f"({c.period},{c.offset})" for c in self.cycles)
+        return f"{lhs} -> {rhs}  cycles: {cycles}"
+
+
+class CyclicRuleMiner:
+    """Detect rules that hold cyclically across time units.
+
+    Parameters
+    ----------
+    min_support / min_confidence:
+        Per-unit thresholds a rule must meet to "hold" in that unit.
+    max_period:
+        Largest cycle period examined (the published algorithm's
+        ``l_max``); must be at most half the number of units so every
+        reported cycle is witnessed at least twice.
+    minimal_only:
+        Suppress cycles implied by a shorter detected cycle of the same
+        rule (default, as in the paper).
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.3,
+        min_confidence: float = 0.6,
+        max_period: int | None = None,
+        minimal_only: bool = True,
+    ):
+        if not 0 < min_support <= 1:
+            raise ValueError("min_support must be in (0, 1]")
+        if not 0 < min_confidence <= 1:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self._min_support = min_support
+        self._min_confidence = min_confidence
+        self._max_period = max_period
+        self._minimal_only = minimal_only
+
+    # -- per-unit rule mining -------------------------------------------------------
+
+    def rules_per_unit(
+        self, units: Sequence[Sequence[Iterable[Hashable]]]
+    ) -> list[list[Rule]]:
+        """Apriori rules of every time unit."""
+        if not units:
+            raise ValueError("at least one time unit is required")
+        out: list[list[Rule]] = []
+        for transactions in units:
+            transactions = list(transactions)
+            if not transactions:
+                out.append([])
+                continue
+            itemsets = frequent_itemsets(transactions, self._min_support)
+            out.append(
+                association_rules(itemsets, len(transactions), self._min_confidence)
+            )
+        return out
+
+    # -- cycle detection ---------------------------------------------------------------
+
+    def detect_cycles(
+        self, holds: Sequence[bool], max_period: int | None = None
+    ) -> list[Cycle]:
+        """Cycles of one binary validity sequence.
+
+        Cycle-elimination sieve: every unit where the rule does *not*
+        hold kills all ``(p, t mod p)`` in one shot; the survivors whose
+        residue class is non-empty are the cycles.
+        """
+        total = len(holds)
+        if total == 0:
+            raise ValueError("the validity sequence must be non-empty")
+        limit = max_period if max_period is not None else self._max_period
+        if limit is None:
+            limit = total // 2
+        limit = min(limit, total // 2)
+        eliminated: set[tuple[int, int]] = set()
+        for t, held in enumerate(holds):
+            if not held:
+                for p in range(1, limit + 1):
+                    eliminated.add((p, t % p))
+        cycles = [
+            Cycle(p, l)
+            for p in range(1, limit + 1)
+            for l in range(p)
+            if (p, l) not in eliminated and l < total
+        ]
+        if self._minimal_only:
+            cycles = self._minimal(cycles)
+        return sorted(cycles)
+
+    @staticmethod
+    def _minimal(cycles: list[Cycle]) -> list[Cycle]:
+        detected = {(c.period, c.offset) for c in cycles}
+        out = []
+        for cycle in cycles:
+            implied = any(
+                cycle.period % p == 0
+                and p != cycle.period
+                and (p, cycle.offset % p) in detected
+                for p in range(1, cycle.period)
+            )
+            if not implied:
+                out.append(cycle)
+        return out
+
+    # -- front door ----------------------------------------------------------------------
+
+    def mine(
+        self, units: Sequence[Sequence[Iterable[Hashable]]]
+    ) -> list[CyclicRule]:
+        """All rules with at least one cycle, strongest cycles first."""
+        per_unit = self.rules_per_unit(units)
+        total = len(per_unit)
+        validity: dict[tuple[frozenset, frozenset], list[bool]] = {}
+        for t, rules in enumerate(per_unit):
+            for rule in rules:
+                key = (rule.antecedent, rule.consequent)
+                validity.setdefault(key, [False] * total)[t] = True
+        out: list[CyclicRule] = []
+        for (antecedent, consequent), holds in validity.items():
+            cycles = self.detect_cycles(holds)
+            if cycles:
+                out.append(
+                    CyclicRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        cycles=tuple(cycles),
+                        held_units=tuple(t for t, h in enumerate(holds) if h),
+                    )
+                )
+        out.sort(
+            key=lambda r: (
+                min(c.period for c in r.cycles),
+                -len(r.held_units),
+                str(sorted(map(str, r.antecedent | r.consequent))),
+            )
+        )
+        return out

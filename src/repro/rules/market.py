@@ -1,0 +1,120 @@
+"""Synthetic market-basket data with planted cyclic rules.
+
+Stand-in for the retail transaction detail behind the paper's Wal-Mart
+aggregate counts: a sequence of time units (e.g. hours), each holding a
+bag of transactions over a small item catalogue, with association rules
+that hold only in a cyclic subset of the units (e.g. "coffee implies
+pastry, but only in morning hours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlantedCycle", "MarketBasketSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedCycle:
+    """A rule planted to hold cyclically.
+
+    In units congruent to ``offset`` modulo ``period``, transactions
+    containing every item of ``antecedent`` also contain ``consequent``
+    with probability ``strength``; in other units the items co-occur
+    only by the background rate.
+    """
+
+    antecedent: tuple[str, ...]
+    consequent: str
+    period: int
+    offset: int
+    strength: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise ValueError("the antecedent needs at least one item")
+        if self.consequent in self.antecedent:
+            raise ValueError("the consequent must not repeat the antecedent")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0 <= self.offset < self.period:
+            raise ValueError("offset must lie in [0, period)")
+        if not 0.0 < self.strength <= 1.0:
+            raise ValueError("strength must lie in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class MarketBasketSimulator:
+    """Generate per-unit transaction bags with planted cyclic rules.
+
+    Parameters
+    ----------
+    units:
+        Number of time units.
+    transactions_per_unit:
+        Transactions in each unit.
+    catalogue:
+        The item names.
+    base_rate:
+        Probability an arbitrary item enters an arbitrary transaction.
+    anchor_rate:
+        Probability the planted antecedent items enter a transaction
+        (kept well above ``base_rate`` so per-unit support is met).
+    planted:
+        The cyclic rules to embed.
+    """
+
+    units: int = 48
+    transactions_per_unit: int = 120
+    catalogue: tuple[str, ...] = (
+        "coffee", "pastry", "milk", "bread", "eggs", "soda", "chips", "beer",
+    )
+    base_rate: float = 0.12
+    anchor_rate: float = 0.45
+    planted: tuple[PlantedCycle, ...] = (
+        PlantedCycle(("coffee",), "pastry", period=4, offset=1),
+    )
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError("units must be >= 1")
+        if self.transactions_per_unit < 1:
+            raise ValueError("transactions_per_unit must be >= 1")
+        if not 0.0 < self.base_rate < 1.0 or not 0.0 < self.anchor_rate <= 1.0:
+            raise ValueError("rates must lie in (0, 1)")
+        names = set(self.catalogue)
+        for plant in self.planted:
+            missing = (set(plant.antecedent) | {plant.consequent}) - names
+            if missing:
+                raise ValueError(f"planted rule uses unknown items: {missing}")
+
+    def generate(
+        self, rng: np.random.Generator | None = None
+    ) -> list[list[frozenset[str]]]:
+        """The unit sequence: ``units`` lists of transaction frozensets."""
+        rng = np.random.default_rng() if rng is None else rng
+        anchored = {
+            item for plant in self.planted for item in plant.antecedent
+        }
+        out: list[list[frozenset[str]]] = []
+        for unit in range(self.units):
+            transactions: list[frozenset[str]] = []
+            for _ in range(self.transactions_per_unit):
+                basket = {
+                    item
+                    for item in self.catalogue
+                    if rng.random() < (
+                        self.anchor_rate if item in anchored else self.base_rate
+                    )
+                }
+                for plant in self.planted:
+                    if unit % plant.period != plant.offset:
+                        continue
+                    if set(plant.antecedent) <= basket and rng.random() < plant.strength:
+                        basket.add(plant.consequent)
+                if basket:
+                    transactions.append(frozenset(basket))
+            out.append(transactions)
+        return out

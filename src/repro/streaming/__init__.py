@@ -1,0 +1,22 @@
+"""Streaming substrate: one-pass readers and incremental miners.
+
+* :class:`ChunkedReader` — block-wise, single-pass access to series on
+  disk or in memory;
+* :class:`OnlineMiner` — incremental evidence over the whole stream;
+* :class:`SlidingWindowMiner` — incremental evidence over the last
+  ``window`` symbols (monitoring mode).
+"""
+
+from .reader import ChunkedReader, write_symbol_file
+from .online import OnlineMiner
+from .window import SlidingWindowMiner
+from .monitor import DriftEvent, PeriodicityMonitor
+
+__all__ = [
+    "ChunkedReader",
+    "write_symbol_file",
+    "OnlineMiner",
+    "SlidingWindowMiner",
+    "DriftEvent",
+    "PeriodicityMonitor",
+]

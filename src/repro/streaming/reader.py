@@ -1,0 +1,117 @@
+"""Chunked one-pass readers for disk-resident symbol series.
+
+The paper's motivation is online environments and databases "mined while
+on disk": the series must be consumed in one sequential pass through
+bounded memory.  A :class:`ChunkedReader` provides that access pattern —
+an iterable of code blocks — from an in-memory array, a text file of
+symbols, or any iterator, and composes with
+:func:`repro.convolution.external.blocked_match_counts` and
+:meth:`repro.core.spectral_miner.SpectralMiner.periodicity_table_out_of_core`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.sequence import SymbolSequence
+
+__all__ = ["ChunkedReader", "write_symbol_file"]
+
+
+def write_symbol_file(series: SymbolSequence, path: str | os.PathLike) -> Path:
+    """Persist a series as a flat text file of one-character symbols.
+
+    The symbols must render as single characters (the default alphabets
+    do).  Returns the path written.
+    """
+    path = Path(path)
+    rendered = series.to_string()
+    if len(rendered) != series.length:
+        raise ValueError("symbols must render as single characters")
+    path.write_text(rendered, encoding="ascii")
+    return path
+
+
+class ChunkedReader:
+    """One-pass block access to a symbol series.
+
+    Parameters
+    ----------
+    source:
+        A :class:`SymbolSequence`, a path to a symbol file written by
+        :func:`write_symbol_file`, or an iterable of symbols.
+    alphabet:
+        Required unless the source is a :class:`SymbolSequence`.
+    block_size:
+        Symbols per yielded block.
+
+    Iterating yields ``int64`` code arrays; each full iteration re-reads
+    the source from the start (a fresh pass).
+    """
+
+    def __init__(
+        self,
+        source: SymbolSequence | str | os.PathLike | Iterable,
+        alphabet: Alphabet | None = None,
+        block_size: int = 1 << 16,
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if isinstance(source, SymbolSequence):
+            alphabet = source.alphabet
+        elif alphabet is None:
+            raise ValueError("an alphabet is required for non-sequence sources")
+        self._source = source
+        self._alphabet = alphabet
+        self._block_size = block_size
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet of the streamed series."""
+        return self._alphabet
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size."""
+        return len(self._alphabet)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        if isinstance(self._source, SymbolSequence):
+            codes = self._source.codes
+            for start in range(0, codes.size, self._block_size):
+                yield codes[start : start + self._block_size]
+        elif isinstance(self._source, (str, os.PathLike)):
+            yield from self._iter_file(Path(self._source))
+        else:
+            yield from self._iter_symbols(iter(self._source))
+
+    def _iter_file(self, path: Path) -> Iterator[np.ndarray]:
+        encode = self._alphabet.encode
+        with open(path, "r", encoding="ascii") as handle:
+            while True:
+                chunk = handle.read(self._block_size)
+                if not chunk:
+                    return
+                yield np.array(encode(chunk), dtype=np.int64)
+
+    def _iter_symbols(self, symbols: Iterator) -> Iterator[np.ndarray]:
+        encode = self._alphabet.encode
+        buffer: list = []
+        for symbol in symbols:
+            buffer.append(symbol)
+            if len(buffer) == self._block_size:
+                yield np.array(encode(buffer), dtype=np.int64)
+                buffer = []
+        if buffer:
+            yield np.array(encode(buffer), dtype=np.int64)
+
+    def materialize(self) -> SymbolSequence:
+        """Concatenate every block into an in-memory series."""
+        blocks = list(self)
+        codes = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+        return SymbolSequence.from_codes(codes, self._alphabet)

@@ -1,0 +1,170 @@
+"""Sliding-window periodicity mining over an unbounded stream.
+
+:class:`~repro.streaming.online.OnlineMiner` accumulates evidence over
+the whole stream, which is right for stationary data; monitoring
+scenarios instead want the periodicities of *the recent past*.  A
+:class:`SlidingWindowMiner` maintains the full ``F2`` evidence of
+exactly the last ``window`` symbols: each arrival adds its match pairs
+against the in-window suffix, and each eviction retracts the pairs whose
+earlier element just left.  At any moment :meth:`table` equals batch
+mining of the current window — the test suite asserts the equivalence
+at every step of randomized streams.
+
+Positions are the subtle part: Definition 1's ``l`` is relative to the
+start of the (windowed) series, which moves every slide.  Internally the
+counts are keyed by the *absolute* earlier index mod ``p`` — invariant
+under sliding — and rotated to window-relative positions only when a
+snapshot is taken.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.periodicity import PeriodicityTable, SymbolPeriodicity
+
+__all__ = ["SlidingWindowMiner"]
+
+
+class SlidingWindowMiner:
+    """Evidence over the last ``window`` stream symbols, incrementally.
+
+    Parameters
+    ----------
+    alphabet:
+        Alphabet of the stream.
+    max_period:
+        Largest period maintained; must be smaller than ``window``.
+    window:
+        Window length in symbols.
+    """
+
+    def __init__(self, alphabet: Alphabet, max_period: int, window: int):
+        if max_period < 1:
+            raise ValueError("max_period must be >= 1")
+        if window <= max_period:
+            raise ValueError("window must exceed max_period")
+        self._alphabet = alphabet
+        self._max_period = max_period
+        self._window = window
+        self._buffer = np.full(window, -1, dtype=np.int64)
+        self._n = 0  # total symbols consumed
+        # counts[p][(code, absolute_earlier_index % p)] -> pair count
+        self._counts: dict[int, dict[tuple[int, int], int]] = {}
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet of the stream."""
+        return self._alphabet
+
+    @property
+    def window(self) -> int:
+        """The window length."""
+        return self._window
+
+    @property
+    def max_period(self) -> int:
+        """The period cap."""
+        return self._max_period
+
+    @property
+    def n(self) -> int:
+        """Total symbols consumed so far."""
+        return self._n
+
+    @property
+    def start(self) -> int:
+        """Absolute index of the oldest in-window symbol."""
+        return max(self._n - self._window, 0)
+
+    @property
+    def size(self) -> int:
+        """Current window occupancy (< window until it fills)."""
+        return min(self._n, self._window)
+
+    # -- feeding -------------------------------------------------------------------
+
+    def append(self, symbol: Hashable) -> None:
+        """Consume one symbol."""
+        self.append_code(self._alphabet.code(symbol))
+
+    def append_code(self, code: int) -> None:
+        """Consume one symbol given as an integer code."""
+        if not 0 <= code < len(self._alphabet):
+            raise ValueError(f"code {code} out of range")
+        if self._n >= self._window:
+            self._evict(self._n - self._window)
+        j = self._n
+        reach = min(self._max_period, j - self.start)
+        if reach:
+            lags = np.arange(1, reach + 1)
+            slots = (j - lags) % self._window
+            matching = lags[self._buffer[slots] == code]
+            for p in matching:
+                p = int(p)
+                self._bump(p, code, (j - p) % p, +1)
+        self._buffer[j % self._window] = code
+        self._n += 1
+
+    def extend_codes(self, codes) -> None:
+        """Consume many symbols given as codes."""
+        for code in np.asarray(codes, dtype=np.int64):
+            self.append_code(int(code))
+
+    def _evict(self, index: int) -> None:
+        """Retract the pairs whose earlier element is ``index``."""
+        code = int(self._buffer[index % self._window])
+        last = self._n - 1  # newest absolute index currently stored
+        reach = min(self._max_period, last - index)
+        if reach < 1:
+            return
+        lags = np.arange(1, reach + 1)
+        slots = (index + lags) % self._window
+        matching = lags[self._buffer[slots] == code]
+        for p in matching:
+            p = int(p)
+            self._bump(p, code, index % p, -1)
+
+    def _bump(self, period: int, code: int, residue: int, delta: int) -> None:
+        table = self._counts.setdefault(period, {})
+        key = (code, residue)
+        value = table.get(key, 0) + delta
+        if value < 0:
+            raise AssertionError("pair count went negative — eviction bug")
+        if value:
+            table[key] = value
+        else:
+            table.pop(key, None)
+
+    # -- snapshots ------------------------------------------------------------------
+
+    def table(self) -> PeriodicityTable:
+        """Evidence table of the current window (relative positions)."""
+        start = self.start
+        rotated: dict[int, dict[tuple[int, int], int]] = {}
+        for p, counts in self._counts.items():
+            if not counts:
+                continue
+            shift = start % p
+            rotated[p] = {
+                (code, (residue - shift) % p): value
+                for (code, residue), value in counts.items()
+            }
+        return PeriodicityTable(self.size, self._alphabet, rotated)
+
+    def confidence(self, period: int) -> float:
+        """Best support of any symbol periodicity at ``period`` right now."""
+        if period > self._max_period:
+            raise ValueError(
+                f"period {period} exceeds the maintained cap {self._max_period}"
+            )
+        return self.table().confidence(period)
+
+    def periodicities(self, psi: float) -> list[SymbolPeriodicity]:
+        """Current symbol periodicities of the window with support >= psi."""
+        return self.table().periodicities(psi)

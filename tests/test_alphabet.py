@@ -1,0 +1,88 @@
+"""Tests for repro.core.alphabet."""
+
+import pytest
+
+from repro.core import Alphabet
+from repro.core.alphabet import DEFAULT_SYMBOLS
+
+
+class TestConstruction:
+    def test_codes_follow_order(self):
+        sigma = Alphabet("abc")
+        assert [sigma.code(s) for s in "abc"] == [0, 1, 2]
+
+    def test_symbols_round_trip(self):
+        sigma = Alphabet("xyz")
+        assert [sigma.symbol(k) for k in range(3)] == ["x", "y", "z"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Alphabet("aba")
+
+    def test_non_string_symbols(self):
+        sigma = Alphabet([("up",), ("down",)])
+        assert sigma.code(("down",)) == 1
+
+    def test_of_size_small(self):
+        sigma = Alphabet.of_size(5)
+        assert sigma.symbols == tuple("abcde")
+
+    def test_of_size_full_latin(self):
+        assert len(Alphabet.of_size(26)) == 26
+
+    def test_of_size_large_names(self):
+        sigma = Alphabet.of_size(30)
+        assert len(sigma) == 30
+        assert sigma.symbol(27) == "s27"
+
+    def test_of_size_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Alphabet.of_size(0)
+
+    def test_from_sequence_orders_by_first_appearance(self):
+        sigma = Alphabet.from_sequence("banana")
+        assert sigma.symbols == ("b", "a", "n")
+
+
+class TestLookups:
+    def test_encode_decode_round_trip(self):
+        sigma = Alphabet("abc")
+        codes = sigma.encode("cabba")
+        assert codes == [2, 0, 1, 1, 0]
+        assert sigma.decode(codes) == list("cabba")
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KeyError):
+            Alphabet("ab").code("z")
+
+    def test_contains(self):
+        sigma = Alphabet("ab")
+        assert "a" in sigma
+        assert "z" not in sigma
+
+    def test_iteration_order(self):
+        assert list(Alphabet("cba")) == ["c", "b", "a"]
+
+
+class TestEquality:
+    def test_equal_same_symbols(self):
+        assert Alphabet("abc") == Alphabet("abc")
+
+    def test_order_matters(self):
+        assert Alphabet("abc") != Alphabet("acb")
+
+    def test_hashable(self):
+        assert len({Alphabet("ab"), Alphabet("ab"), Alphabet("ba")}) == 2
+
+    def test_not_equal_other_types(self):
+        assert Alphabet("ab") != "ab"
+
+    def test_repr_mentions_symbols(self):
+        assert "abc" in repr(Alphabet("abc"))
+
+    def test_default_symbols_are_lowercase_latin(self):
+        assert DEFAULT_SYMBOLS == "abcdefghijklmnopqrstuvwxyz"

@@ -1,0 +1,86 @@
+"""Tests for repro.experiments.ascii_plot and the experiment runner."""
+
+import pytest
+
+from repro.experiments import ascii_plot, run_all, write_report
+from repro.experiments.runner import EXPERIMENT_NAMES
+
+
+class TestAsciiPlot:
+    def test_basic_rendering(self):
+        chart = ascii_plot(
+            {"up": {0: 0.0, 1: 0.5, 2: 1.0}},
+            width=30,
+            height=8,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o up" in lines[-1]
+        assert any("o" in line for line in lines[2:-2])
+
+    def test_multiple_curves_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": {0: 1.0}, "b": {0: 0.0}},
+            width=20,
+            height=6,
+        )
+        assert "o a" in chart and "x b" in chart
+
+    def test_extremes_land_on_first_and_last_rows(self):
+        chart = ascii_plot({"c": {0: 0.0, 1: 1.0}}, width=20, height=8)
+        rows = chart.splitlines()[1:]  # skip y-range line
+        grid = [r for r in rows if r.startswith("|") or r.startswith("+")]
+        assert "o" in grid[0]          # maximum at the top
+        assert "o" in grid[-2]         # minimum on the last data row
+
+    def test_explicit_y_bounds_clip(self):
+        chart = ascii_plot(
+            {"c": {0: 5.0}}, width=20, height=6, y_min=0.0, y_max=1.0
+        )
+        assert "1.00 (top)" in chart
+
+    def test_x_axis_labels(self):
+        chart = ascii_plot({"c": {0.1: 0.2, 0.5: 0.4}}, width=20, height=6)
+        assert "x: 0.1 0.5" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": {}})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": {0: 1.0}}, width=4, height=2)
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_plot({"flat": {0: 0.5, 1: 0.5}}, width=20, height=6)
+        assert "flat" in chart
+
+
+class TestRunner:
+    def test_runs_selected_quick_experiments(self):
+        results = run_all(quick=True, only=("table2", "table3"))
+        assert set(results) == {"table2", "table3"}
+        assert "Table 2" in results["table2"]
+        assert "Table 3" in results["table3"]
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            run_all(only=("fig99",))
+
+    def test_names_registry_is_complete(self):
+        assert set(EXPERIMENT_NAMES) == {
+            "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
+            "fig6a", "fig6b", "table1", "table2", "table3",
+        }
+
+    def test_write_report(self, tmp_path):
+        path = write_report({"fig3a": "CONTENT"}, tmp_path / "report.md")
+        text = path.read_text()
+        assert "## fig3a" in text and "CONTENT" in text
+
+    def test_write_report_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report({}, tmp_path / "report.md")

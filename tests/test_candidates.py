@@ -1,0 +1,184 @@
+"""Tests for repro.core.candidates — Definition 3 and the Apriori search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConvolutionMiner,
+    PeriodicPattern,
+    SymbolSequence,
+    cartesian_candidates,
+    mine_patterns,
+    pattern_support,
+    segment_match_matrix,
+    single_symbol_patterns,
+)
+
+from conftest import series_strategy
+
+
+class TestSegmentMatrix:
+    def test_paper_example(self, paper_series):
+        # T = abcabbabcb, p = 3: rows compare segments (abc|abb|abc|b).
+        matrix = segment_match_matrix(paper_series, 3)
+        assert matrix.shape == (3, 3)
+        a, b = paper_series.alphabet.code("a"), paper_series.alphabet.code("b")
+        assert matrix[0].tolist() == [a, b, -1]   # abc vs abb
+        assert matrix[1].tolist() == [a, b, -1]   # abb vs abc
+        assert matrix[2].tolist() == [-1, -1, -1]  # abc vs b (only l=0 compares, a vs b)
+
+    def test_row_count_formula(self, paper_series):
+        for p in range(1, 8):
+            rows = segment_match_matrix(paper_series, p).shape[0]
+            assert rows == max(-(-paper_series.length // p) - 1, 0)
+
+    def test_short_series(self):
+        series = SymbolSequence.from_string("ab")
+        assert segment_match_matrix(series, 5).shape == (0, 5)
+
+    def test_rejects_bad_period(self, paper_series):
+        with pytest.raises(ValueError):
+            segment_match_matrix(paper_series, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(series=series_strategy(min_size=3, max_size=40), p=st.integers(1, 8))
+    def test_matrix_entries_match_definition(self, series, p):
+        matrix = segment_match_matrix(series, p)
+        codes = series.codes
+        for m in range(matrix.shape[0]):
+            for l in range(p):
+                j = m * p + l
+                if j + p < series.length and codes[j] == codes[j + p]:
+                    assert matrix[m, l] == codes[j]
+                else:
+                    assert matrix[m, l] == -1
+
+
+class TestSingleSymbolPatterns:
+    def test_paper_example(self, paper_series):
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        patterns = single_symbol_patterns(table, 2 / 3, period=3)
+        rendered = {p.to_string(paper_series.alphabet) for p in patterns}
+        assert rendered == {"a**", "*b*"}
+
+    def test_supports_follow_definition_2(self, paper_series):
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        by_string = {
+            p.to_string(paper_series.alphabet): p.support
+            for p in single_symbol_patterns(table, 2 / 3, period=3)
+        }
+        assert by_string["a**"] == pytest.approx(2 / 3)
+        assert by_string["*b*"] == pytest.approx(1.0)
+
+
+class TestPatternSupport:
+    def test_paper_ab_pattern(self, paper_series):
+        matrix = segment_match_matrix(paper_series, 3)
+        ab = PeriodicPattern.from_items(3, {0: 0, 1: 1})
+        assert pattern_support(ab, matrix) == pytest.approx(2 / 3)
+
+    def test_empty_matrix_zero_support(self):
+        pattern = PeriodicPattern.single(3, 0, 0)
+        assert pattern_support(pattern, np.empty((0, 3), dtype=np.int64)) == 0.0
+
+    def test_dont_care_pattern_full_support(self, paper_series):
+        matrix = segment_match_matrix(paper_series, 3)
+        blank = PeriodicPattern(3, (None, None, None))
+        assert pattern_support(blank, matrix) == 1.0
+
+
+class TestCartesianCandidates:
+    def test_paper_candidate_set(self, paper_series):
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        hits = table.periodicities(2 / 3, period=3)
+        rendered = {
+            p.to_string(paper_series.alphabet)
+            for p in cartesian_candidates(hits, 3)
+        }
+        # S_{3,0} = {a}, S_{3,1} = {b}, S_{3,2} = {} -> a**, *b*, ab*
+        assert rendered == {"a**", "*b*", "ab*"}
+
+    def test_cap_guards_explosion(self):
+        from repro.core import SymbolPeriodicity
+
+        hits = [
+            SymbolPeriodicity(period=40, position=l, symbol_code=k, f2=5, pairs=5)
+            for l in range(40)
+            for k in range(2)
+        ]
+        with pytest.raises(ValueError, match="cap"):
+            list(cartesian_candidates(hits, 40))
+
+
+class TestMinePatterns:
+    def test_paper_full_result(self, paper_series):
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        patterns = mine_patterns(paper_series, table, 2 / 3, periods=[3])
+        by_string = {
+            p.to_string(paper_series.alphabet): p.support for p in patterns
+        }
+        assert by_string == {
+            "a**": pytest.approx(2 / 3),
+            "*b*": pytest.approx(1.0),
+            "ab*": pytest.approx(2 / 3),
+        }
+
+    def test_apriori_matches_cartesian_on_small_input(self, paper_series):
+        """Level-wise search finds exactly the supported Cartesian candidates."""
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        psi = 0.5
+        matrix = segment_match_matrix(paper_series, 3)
+        hits = table.periodicities(psi, period=3)
+        exhaustive = {
+            pattern.slots
+            for pattern in cartesian_candidates(hits, 3)
+            if pattern.arity >= 2 and pattern_support(pattern, matrix) >= psi
+        }
+        mined = {
+            p.slots
+            for p in mine_patterns(paper_series, table, psi, periods=[3])
+            if p.arity >= 2
+        }
+        assert mined == exhaustive
+
+    def test_max_arity_caps_depth(self):
+        series = SymbolSequence.from_string("abcabcabcabcabc")
+        table = ConvolutionMiner().periodicity_table(series)
+        capped = mine_patterns(series, table, 0.9, periods=[3], max_arity=2)
+        assert max(p.arity for p in capped) == 2
+        uncapped = mine_patterns(series, table, 0.9, periods=[3])
+        assert max(p.arity for p in uncapped) == 3
+
+    def test_rejects_bad_threshold(self, paper_series):
+        table = ConvolutionMiner().periodicity_table(paper_series)
+        with pytest.raises(ValueError):
+            mine_patterns(paper_series, table, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(series=series_strategy(min_size=6, max_size=40, max_sigma=3))
+    def test_anti_monotonicity(self, series):
+        """Every mined pattern's support <= each of its single-symbol parts'
+        aligned support (the Apriori property of the paper's footnote)."""
+        table = ConvolutionMiner().periodicity_table(series)
+        psi = 0.4
+        patterns = mine_patterns(series, table, psi, max_arity=3)
+        matrices = {}
+        for pattern in patterns:
+            if pattern.arity < 2:
+                continue
+            matrix = matrices.setdefault(
+                pattern.period, segment_match_matrix(series, pattern.period)
+            )
+            for l, k in pattern.items:
+                single = PeriodicPattern.single(pattern.period, l, k)
+                assert pattern.support <= pattern_support(single, matrix) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(series=series_strategy(min_size=6, max_size=40, max_sigma=3))
+    def test_all_returned_patterns_meet_threshold(self, series):
+        table = ConvolutionMiner().periodicity_table(series)
+        psi = 0.5
+        for pattern in mine_patterns(series, table, psi, max_arity=3):
+            assert pattern.support >= psi - 1e-12

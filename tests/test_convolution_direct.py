@@ -1,0 +1,99 @@
+"""Tests for repro.convolution.direct."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convolution import (
+    convolve_direct,
+    convolve_full_direct,
+    correlate_direct,
+    weighted_convolve_direct,
+)
+
+floats = st.lists(
+    st.integers(-5, 5).map(float), min_size=1, max_size=24
+)
+
+
+class TestFullConvolution:
+    def test_known_product(self):
+        # (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2
+        assert convolve_full_direct([1, 2], [3, 4]).tolist() == [3.0, 10.0, 8.0]
+
+    def test_identity_kernel(self):
+        x = [5.0, 1.0, 2.0]
+        assert convolve_full_direct(x, [1.0]).tolist() == x
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=17)
+        y = rng.normal(size=11)
+        np.testing.assert_allclose(
+            convolve_full_direct(x, y), np.convolve(x, y), atol=1e-9
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            convolve_full_direct([], [1.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=floats, y=floats)
+    def test_commutative(self, x, y):
+        np.testing.assert_allclose(
+            convolve_full_direct(x, y), convolve_full_direct(y, x), atol=1e-9
+        )
+
+
+class TestTruncatedConvolution:
+    def test_truncates_to_n(self):
+        out = convolve_direct([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            convolve_direct([1.0], [1.0, 2.0])
+
+
+class TestWeightedConvolution:
+    def test_definition_small(self):
+        # (x (*) y)_i = sum_j 2^j x_j y_{i-j}
+        out = weighted_convolve_direct([1, 1], [1, 1])
+        # i=0: 2^0*1*1 = 1 ; i=1: 2^0*1*1 + 2^1*1*1 = 3
+        assert out == [1, 3]
+
+    def test_weights_separate_matches(self):
+        # Only x_2 y_0 contributes at i=2 -> exactly 2^2.
+        out = weighted_convolve_direct([0, 0, 1], [1, 0, 0])
+        assert out == [0, 0, 4]
+
+    def test_exactness_with_large_indices(self):
+        n = 70  # 2^69 overflows doubles; ints must stay exact
+        x = [0] * n
+        y = [0] * n
+        x[n - 1] = 1
+        y[0] = 1
+        out = weighted_convolve_direct(x, y)
+        assert out[n - 1] == 2 ** (n - 1)
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_convolve_direct([1], [1, 0])
+
+
+class TestCorrelation:
+    def test_autocorrelation_counts_matches(self):
+        # x = 1,0,1,0,1: lag 2 pairs -> positions (0,2),(2,4)
+        x = [1.0, 0.0, 1.0, 0.0, 1.0]
+        corr = correlate_direct(x, x)
+        assert corr.tolist() == [3.0, 0.0, 2.0, 0.0, 1.0]
+
+    def test_lag_zero_is_dot_product(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=9)
+        assert correlate_direct(x, x)[0] == pytest.approx(float(x @ x))
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            correlate_direct([1.0], [1.0, 2.0])

@@ -1,0 +1,148 @@
+"""Tests for repro.convolution.external — out-of-core kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convolution import (
+    blocked_match_counts,
+    convolve_overlap_add,
+    rechunk,
+)
+
+
+def _chunks(array: np.ndarray, sizes: list[int]):
+    start = 0
+    for size in sizes:
+        yield array[start : start + size]
+        start += size
+    if start < array.size:
+        yield array[start:]
+
+
+class TestRechunk:
+    def test_even_split(self):
+        blocks = list(rechunk([np.arange(10)], 5))
+        assert [b.tolist() for b in blocks] == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_merges_small_inputs(self):
+        blocks = list(rechunk([np.array([1]), np.array([2, 3]), np.array([4])], 3))
+        assert [b.tolist() for b in blocks] == [[1, 2, 3], [4]]
+
+    def test_tail_shorter(self):
+        blocks = list(rechunk([np.arange(7)], 4))
+        assert [len(b) for b in blocks] == [4, 3]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(rechunk([np.arange(3)], 0))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            list(rechunk([np.zeros((2, 2))], 2))
+
+    def test_concatenation_preserved(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 9, size=57)
+        blocks = list(rechunk(_chunks(data, [3, 11, 20, 1]), 8))
+        assert np.concatenate(blocks).tolist() == data.tolist()
+
+
+class TestOverlapAdd:
+    def test_matches_numpy_convolve(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(size=1000)
+        kernel = rng.normal(size=37)
+        streamed = np.concatenate(
+            list(convolve_overlap_add(_chunks(signal, [333, 333]), kernel, block_size=128))
+        )
+        np.testing.assert_allclose(streamed, np.convolve(signal, kernel), atol=1e-8)
+
+    def test_single_tiny_block(self):
+        out = np.concatenate(
+            list(convolve_overlap_add([np.array([1.0, 2.0])], np.array([1.0, 1.0])))
+        )
+        np.testing.assert_allclose(out, [1.0, 3.0, 2.0])
+
+    def test_kernel_longer_than_blocks(self):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=64)
+        kernel = rng.normal(size=48)
+        streamed = np.concatenate(
+            list(convolve_overlap_add(_chunks(signal, [16] * 4), kernel, block_size=16))
+        )
+        np.testing.assert_allclose(streamed, np.convolve(signal, kernel), atol=1e-8)
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(ValueError):
+            list(convolve_overlap_add([np.ones(4)], np.array([])))
+
+    def test_rejects_empty_signal(self):
+        with pytest.raises(ValueError):
+            list(convolve_overlap_add([], np.ones(3)))
+
+
+class TestBlockedMatchCounts:
+    def _reference(self, codes: np.ndarray, sigma: int, max_lag: int) -> np.ndarray:
+        out = np.zeros((sigma, max_lag + 1), dtype=np.int64)
+        n = codes.size
+        for k in range(sigma):
+            for p in range(max_lag + 1):
+                if p == 0:
+                    out[k, 0] = int(np.count_nonzero(codes == k))
+                elif p < n:
+                    out[k, p] = int(
+                        np.count_nonzero((codes[:-p] == k) & (codes[p:] == k))
+                    )
+        return out
+
+    def test_matches_reference_single_block(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 4, size=200)
+        counts = blocked_match_counts([codes], 4, 20)
+        np.testing.assert_array_equal(counts, self._reference(codes, 4, 20))
+
+    def test_matches_reference_many_blocks(self):
+        rng = np.random.default_rng(4)
+        codes = rng.integers(0, 3, size=500)
+        counts = blocked_match_counts(
+            _chunks(codes, [100, 57, 200, 99]), 3, 40, block_size=64
+        )
+        np.testing.assert_array_equal(counts, self._reference(codes, 3, 40))
+
+    def test_block_size_smaller_than_lag_is_fixed_up(self):
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 2, size=120)
+        counts = blocked_match_counts(_chunks(codes, [10] * 12), 2, 30, block_size=8)
+        np.testing.assert_array_equal(counts, self._reference(codes, 2, 30))
+
+    def test_lag_zero_counts_occurrences(self):
+        codes = np.array([0, 1, 0, 0, 1])
+        counts = blocked_match_counts([codes], 2, 0)
+        assert counts[:, 0].tolist() == [3, 2]
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError):
+            blocked_match_counts([np.array([0, 5])], 2, 1)
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(ValueError):
+            blocked_match_counts([np.array([0])], 1, -1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        codes=st.lists(st.integers(0, 2), min_size=2, max_size=120),
+        block=st.integers(4, 40),
+        max_lag=st.integers(1, 25),
+    )
+    def test_blocking_invariance(self, codes, block, max_lag):
+        """Any chunking produces the same counts as one-shot counting."""
+        codes = np.array(codes, dtype=np.int64)
+        counts = blocked_match_counts(
+            _chunks(codes, [block] * (codes.size // block + 1)),
+            3,
+            max_lag,
+            block_size=block,
+        )
+        np.testing.assert_array_equal(counts, self._reference(codes, 3, max_lag))

@@ -1,0 +1,116 @@
+"""Tests for repro.data.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    EqualWidthDiscretizer,
+    FIVE_LEVELS,
+    GaussianDiscretizer,
+    QuantileDiscretizer,
+    ThresholdDiscretizer,
+)
+from repro.data.discretize import _normal_ppf
+
+
+class TestThresholdDiscretizer:
+    def test_paper_cimeg_levels(self):
+        # "very low < 6000 Watts/Day, and each level has a 2000 Watts range"
+        disc = ThresholdDiscretizer([6000, 8000, 10000, 12000])
+        values = [1000, 5999, 6000, 7999, 9000, 11000, 12000, 20000]
+        codes = disc.codes(values)
+        assert codes.tolist() == [0, 0, 1, 1, 2, 3, 4, 4]
+
+    def test_paper_walmart_levels(self):
+        # "very low corresponds to zero transactions per hour, low < 200"
+        disc = ThresholdDiscretizer([0.5, 200, 400, 600])
+        codes = disc.codes([0, 1, 199, 200, 399, 400, 601])
+        assert codes.tolist() == [0, 1, 1, 2, 2, 3, 4]
+
+    def test_series_uses_level_alphabet(self):
+        disc = ThresholdDiscretizer([10, 20, 30, 40])
+        series = disc.discretize([5, 15, 45])
+        assert series.to_string() == "abe"
+        assert series.alphabet.symbols == FIVE_LEVELS
+
+    def test_custom_level_count(self):
+        disc = ThresholdDiscretizer([0.0], levels=2)
+        assert disc.codes([-1.0, 1.0]).tolist() == [0, 1]
+
+    def test_rejects_wrong_threshold_count(self):
+        with pytest.raises(ValueError):
+            ThresholdDiscretizer([1.0, 2.0], levels=5)
+
+    def test_rejects_descending_thresholds(self):
+        with pytest.raises(ValueError):
+            ThresholdDiscretizer([3.0, 2.0, 4.0, 5.0])
+
+
+class TestEqualWidth:
+    def test_covers_range_evenly(self):
+        disc = EqualWidthDiscretizer(levels=4)
+        codes = disc.codes([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert codes.tolist() == [0, 1, 2, 3, 3]
+
+    def test_constant_input_single_level(self):
+        disc = EqualWidthDiscretizer(levels=3)
+        codes = disc.codes([5.0, 5.0, 5.0])
+        assert len(set(codes.tolist())) == 1
+
+
+class TestQuantile:
+    def test_balanced_bins(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000)
+        codes = QuantileDiscretizer(levels=5).codes(values)
+        counts = np.bincount(codes, minlength=5)
+        assert counts.min() > 0.15 * values.size
+
+
+class TestGaussian:
+    def test_balanced_bins_on_normal_data(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 2.0, size=5000)
+        codes = GaussianDiscretizer(levels=5).codes(values)
+        counts = np.bincount(codes, minlength=5)
+        assert counts.min() > 0.12 * values.size
+
+    def test_constant_input(self):
+        codes = GaussianDiscretizer(levels=3).codes([2.0, 2.0])
+        assert set(codes.tolist()) <= {0, 1, 2}
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EqualWidthDiscretizer().codes([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EqualWidthDiscretizer().codes(np.zeros((2, 2)))
+
+
+class TestNormalPPF:
+    def test_median(self):
+        assert _normal_ppf(np.array([0.5]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_quantiles(self):
+        q = np.array([0.025, 0.975, 0.001, 0.999])
+        expected = np.array([-1.9599640, 1.9599640, -3.0902323, 3.0902323])
+        np.testing.assert_allclose(_normal_ppf(q), expected, atol=1e-6)
+
+    def test_symmetry(self):
+        q = np.linspace(0.01, 0.49, 20)
+        np.testing.assert_allclose(_normal_ppf(q), -_normal_ppf(1 - q), atol=1e-8)
+
+    def test_rejects_boundaries(self):
+        with pytest.raises(ValueError):
+            _normal_ppf(np.array([0.0]))
+
+    @pytest.mark.parametrize("module", ["scipy"])
+    def test_against_scipy_if_available(self, module):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        q = np.linspace(0.001, 0.999, 97)
+        np.testing.assert_allclose(
+            _normal_ppf(q), scipy_stats.norm.ppf(q), atol=1.5e-9
+        )

@@ -1,0 +1,159 @@
+"""Tests for repro.data.noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SymbolSequence
+from repro.data import (
+    apply_noise,
+    delete_noise,
+    generate_periodic,
+    insert_noise,
+    parse_noise_spec,
+    replace_noise,
+)
+
+from conftest import series_strategy
+
+
+class TestParseSpec:
+    def test_single_letters(self):
+        assert parse_noise_spec("R") == ("replacement",)
+        assert parse_noise_spec("i") == ("insertion",)
+
+    def test_combinations(self):
+        assert parse_noise_spec("R-I-D") == ("replacement", "insertion", "deletion")
+        assert parse_noise_spec("I D") == ("insertion", "deletion")
+        assert parse_noise_spec("r,d") == ("replacement", "deletion")
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_noise_spec("R-X")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            parse_noise_spec("R-R")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_noise_spec("")
+
+
+class TestReplacement:
+    def test_changes_requested_fraction(self, rng):
+        series = generate_periodic(1000, 10, 5, rng=rng)
+        noisy = replace_noise(series, 0.3, rng)
+        assert noisy.length == series.length
+        changed = int(np.count_nonzero(noisy.codes != series.codes))
+        assert changed == 300  # replacement always picks a different symbol
+
+    def test_zero_ratio_identity(self, rng):
+        series = generate_periodic(100, 10, 5, rng=rng)
+        assert replace_noise(series, 0.0, rng) == series
+
+    def test_requires_two_symbols(self, rng):
+        series = SymbolSequence.from_string("aaaa")
+        with pytest.raises(ValueError):
+            replace_noise(series, 0.5, rng)
+
+    def test_rejects_bad_ratio(self, rng):
+        series = SymbolSequence.from_string("abab")
+        with pytest.raises(ValueError):
+            replace_noise(series, 1.5, rng)
+
+
+class TestInsertion:
+    def test_grows_length(self, rng):
+        series = generate_periodic(200, 10, 4, rng=rng)
+        noisy = insert_noise(series, 0.25, rng)
+        assert noisy.length == 250
+
+    def test_zero_ratio_identity(self, rng):
+        series = generate_periodic(50, 5, 3, rng=rng)
+        assert insert_noise(series, 0.0, rng) == series
+
+    def test_preserves_subsequence(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        noisy = insert_noise(series, 0.2, rng)
+        # The original must be a subsequence of the noisy series.
+        it = iter(noisy.codes.tolist())
+        assert all(code in it for code in series.codes.tolist())
+
+
+class TestDeletion:
+    def test_shrinks_length(self, rng):
+        series = generate_periodic(200, 10, 4, rng=rng)
+        noisy = delete_noise(series, 0.25, rng)
+        assert noisy.length == 150
+
+    def test_result_is_subsequence(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        noisy = delete_noise(series, 0.3, rng)
+        it = iter(series.codes.tolist())
+        assert all(code in it for code in noisy.codes.tolist())
+
+    def test_cannot_delete_everything(self, rng):
+        series = SymbolSequence.from_string("ab")
+        with pytest.raises(ValueError):
+            delete_noise(series, 1.0, rng)
+
+
+class TestApplyNoise:
+    def test_splits_ratio_equally(self, rng):
+        series = generate_periodic(900, 9, 4, rng=rng)
+        noisy = apply_noise(series, 0.3, "I-D", rng)
+        # 15% inserted, then 15% of the grown series deleted:
+        # n * (1 + r/2) * (1 - r/2) = n * (1 - r^2/4).
+        expected = series.length * (1 - 0.15 * 0.15)
+        assert abs(noisy.length - expected) <= 2
+
+    def test_accepts_tuple_kinds(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        noisy = apply_noise(series, 0.2, ("replacement",), rng)
+        assert noisy.length == series.length
+
+    def test_rejects_unknown_tuple_kind(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            apply_noise(series, 0.2, ("gaussian",), rng)
+
+    def test_rejects_duplicate_tuple_kinds(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            apply_noise(series, 0.2, ("deletion", "deletion"), rng)
+
+    def test_zero_ratio_identity_all_combos(self, rng):
+        series = generate_periodic(60, 6, 3, rng=rng)
+        for combo in ("R", "I", "D", "R-I", "R-D", "I-D", "R-I-D"):
+            assert apply_noise(series, 0.0, combo, rng) == series
+
+    def test_alphabet_preserved(self, rng):
+        series = generate_periodic(100, 10, 4, rng=rng)
+        noisy = apply_noise(series, 0.4, "R-I-D", rng)
+        assert noisy.alphabet == series.alphabet
+
+    @settings(max_examples=25, deadline=None)
+    @given(series=series_strategy(min_size=10, max_size=50), ratio=st.floats(0.0, 0.4))
+    def test_replacement_preserves_length_property(self, series, ratio):
+        if series.sigma < 2:
+            return
+        rng = np.random.default_rng(0)
+        assert replace_noise(series, ratio, rng).length == series.length
+
+    def test_replacement_noise_degrades_confidence_gracefully(self, rng):
+        """Fig. 6's qualitative claim in miniature."""
+        from repro.core import SpectralMiner
+
+        series = generate_periodic(5000, 25, 10, rng=rng)
+        clean = SpectralMiner(max_period=30).periodicity_table(series)
+        noisy_r = SpectralMiner(max_period=30).periodicity_table(
+            apply_noise(series, 0.3, "R", rng)
+        )
+        noisy_d = SpectralMiner(max_period=30).periodicity_table(
+            apply_noise(series, 0.3, "D", rng)
+        )
+        assert clean.confidence(25) == pytest.approx(1.0)
+        assert 0.3 < noisy_r.confidence(25) < 0.9
+        assert noisy_d.confidence(25) < noisy_r.confidence(25)

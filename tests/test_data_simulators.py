@@ -1,0 +1,179 @@
+"""Tests for the CIMEG-like, Wal-Mart-like, and event-log simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpectralMiner
+from repro.data import (
+    EventLogSimulator,
+    PlantedEvent,
+    PowerConsumptionSimulator,
+    RetailTransactionsSimulator,
+)
+
+
+class TestPowerSimulator:
+    def test_length(self, rng):
+        assert PowerConsumptionSimulator(days=100).series(rng).length == 100
+
+    def test_values_non_negative(self, rng):
+        assert PowerConsumptionSimulator().values(rng).min() >= 0.0
+
+    def test_five_levels(self, rng):
+        series = PowerConsumptionSimulator().series(rng)
+        assert series.sigma == 5
+
+    def test_weekly_period_dominates(self, rng):
+        series = PowerConsumptionSimulator().series(rng)
+        table = SpectralMiner(max_period=30).periodicity_table(series)
+        assert table.confidence(7) > 0.6
+        assert table.confidence(7) > table.confidence(5) + 0.2
+        assert table.confidence(7) > table.confidence(11) + 0.2
+
+    def test_habitual_low_day_in_partial_band(self):
+        """The (a, low_day) pattern must live in the 40-85% support band."""
+        supports = []
+        for seed in range(5):
+            simulator = PowerConsumptionSimulator()
+            series = simulator.series(np.random.default_rng(seed))
+            table = SpectralMiner(max_period=7).periodicity_table(series)
+            supports.append(table.support(7, 0, simulator.low_day))
+        mean = sum(supports) / len(supports)
+        assert 0.4 < mean < 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerConsumptionSimulator(days=0)
+        with pytest.raises(ValueError):
+            PowerConsumptionSimulator(weekly_profile=(1.0,) * 6)
+        with pytest.raises(ValueError):
+            PowerConsumptionSimulator(low_day=9)
+        with pytest.raises(ValueError):
+            PowerConsumptionSimulator(habit_persistence=1.5)
+        with pytest.raises(ValueError):
+            PowerConsumptionSimulator(vacation_rate=-0.1)
+
+    def test_reproducible(self):
+        a = PowerConsumptionSimulator().series(np.random.default_rng(3))
+        b = PowerConsumptionSimulator().series(np.random.default_rng(3))
+        assert a == b
+
+
+class TestRetailSimulator:
+    def test_hours(self, rng):
+        simulator = RetailTransactionsSimulator(days=30)
+        assert simulator.hours == 720
+        assert simulator.series(rng).length == 720
+
+    def test_deterministic_means(self):
+        simulator = RetailTransactionsSimulator(days=14, noise="none")
+        np.testing.assert_array_equal(simulator.values(), simulator.expected_values())
+
+    def test_overnight_closed_in_expectation(self):
+        means = RetailTransactionsSimulator(days=7, noise="none").expected_values()
+        by_day = means.reshape(7, 24)
+        assert (by_day[:, 0:6] == 0).all()
+        assert (by_day[:, 22:] == 0).all()
+
+    def test_daily_and_weekly_periods(self, rng):
+        series = RetailTransactionsSimulator(days=180).series(rng)
+        table = SpectralMiner(psi=0.3, max_period=200).periodicity_table(series)
+        assert table.confidence(24) > 0.8
+        assert table.confidence(168) > 0.8
+        assert table.confidence(23) < 0.5
+
+    def test_dst_shifts_window_profile(self):
+        base = RetailTransactionsSimulator(days=365, noise="none", dst=False)
+        shifted = RetailTransactionsSimulator(days=365, noise="none", dst=True)
+        a = base.expected_values().reshape(365, 24)
+        b = shifted.expected_values().reshape(365, 24)
+        inside = 100  # day inside the DST window
+        outside = 20  # before spring-forward
+        np.testing.assert_array_equal(a[outside], b[outside])
+        np.testing.assert_array_equal(np.roll(a[inside], -1), b[inside])
+
+    def test_dst_creates_off_by_one_hour_periods(self, rng):
+        series = RetailTransactionsSimulator(days=456, dst=True).series(rng)
+        table = SpectralMiner(psi=0.4, max_period=400).periodicity_table(series)
+        off_by_one = [
+            p
+            for p in table.candidate_periods(0.5, min_pairs=2)
+            if p > 24 and p % 24 in (1, 23)
+        ]
+        assert off_by_one, "DST must surface obscure off-by-one-hour periods"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(days=0)
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(hourly_profile=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(weekday_factors=(1.0,) * 6)
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(noise="laplace")
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(holiday_rate=2.0)
+        with pytest.raises(ValueError):
+            RetailTransactionsSimulator(dst_spring_day=300, dst_fall_day=100)
+
+
+class TestEventLogSimulator:
+    def test_length_and_alphabet(self, rng):
+        simulator = EventLogSimulator(length=500)
+        log = simulator.series(rng)
+        assert log.length == 500
+        assert set(log.alphabet.symbols) >= {"H", "B", "x"}
+
+    def test_reliable_event_always_on_schedule(self, rng):
+        simulator = EventLogSimulator(
+            length=600,
+            planted=(PlantedEvent("H", period=50, phase=3, reliability=1.0),),
+        )
+        log = simulator.series(rng)
+        h = log.alphabet.code("H")
+        positions = np.nonzero(log.codes == h)[0]
+        assert (positions % 50 == 3).all()
+        assert positions.size == len(range(3, 600, 50))
+
+    def test_unreliable_event_misses_beats(self):
+        simulator = EventLogSimulator(
+            length=10_000,
+            planted=(PlantedEvent("H", period=10, phase=0, reliability=0.7),),
+        )
+        log = simulator.series(np.random.default_rng(0))
+        h = log.alphabet.code("H")
+        fired = int(np.count_nonzero(log.codes == h))
+        assert 600 < fired < 800
+
+    def test_planted_periods_mined(self, rng):
+        log = EventLogSimulator(length=4000).series(rng)
+        table = SpectralMiner(psi=0.5, max_period=100).periodicity_table(log)
+        hits = table.periodicities(0.6)
+        found = {
+            (str(h.symbol(table.alphabet)), h.period, h.position) for h in hits
+        }
+        assert ("H", 60, 0) in found
+        assert ("B", 15, 7) in found
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventLogSimulator(length=0)
+        with pytest.raises(ValueError):
+            EventLogSimulator(background_events=())
+        with pytest.raises(ValueError):
+            PlantedEvent("H", period=0, phase=0)
+        with pytest.raises(ValueError):
+            PlantedEvent("H", period=5, phase=5)
+        with pytest.raises(ValueError):
+            PlantedEvent("H", period=5, phase=0, reliability=0.0)
+        with pytest.raises(ValueError):
+            EventLogSimulator(
+                planted=(PlantedEvent("x", period=5, phase=0),),
+            )
+        with pytest.raises(ValueError):
+            EventLogSimulator(
+                planted=(
+                    PlantedEvent("H", period=5, phase=0),
+                    PlantedEvent("H", period=7, phase=0),
+                ),
+            )

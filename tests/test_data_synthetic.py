@@ -1,0 +1,90 @@
+"""Tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpectralMiner
+from repro.data import generate_pattern, generate_periodic, generate_random
+
+
+class TestGeneratePattern:
+    def test_length_and_range(self, rng):
+        pattern = generate_pattern(10, 5, rng=rng)
+        assert pattern.size == 10
+        assert pattern.min() >= 0 and pattern.max() < 5
+
+    def test_normal_distribution_prefers_centre(self, rng):
+        samples = np.concatenate(
+            [generate_pattern(1000, 9, "normal", rng) for _ in range(3)]
+        )
+        counts = np.bincount(samples, minlength=9)
+        assert counts[4] > counts[0]
+        assert counts[4] > counts[8]
+
+    def test_uniform_distribution_is_flat(self, rng):
+        samples = generate_pattern(9000, 3, "uniform", rng)
+        counts = np.bincount(samples, minlength=3)
+        assert counts.min() > 0.25 * samples.size
+
+    def test_rejects_unknown_distribution(self, rng):
+        with pytest.raises(ValueError):
+            generate_pattern(5, 3, "cauchy", rng)
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            generate_pattern(0, 3, rng=rng)
+        with pytest.raises(ValueError):
+            generate_pattern(3, 0, rng=rng)
+
+
+class TestGeneratePeriodic:
+    def test_is_perfectly_periodic(self, rng):
+        series = generate_periodic(103, 7, 5, rng=rng)
+        codes = series.codes
+        assert all(codes[i] == codes[i % 7] for i in range(103))
+
+    def test_exact_length(self, rng):
+        assert generate_periodic(100, 7, 4, rng=rng).length == 100
+
+    def test_supplied_pattern(self):
+        series = generate_periodic(9, 3, 3, pattern=np.array([0, 1, 2]))
+        assert series.codes.tolist() == [0, 1, 2] * 3
+
+    def test_supplied_pattern_validation(self):
+        with pytest.raises(ValueError):
+            generate_periodic(9, 3, 3, pattern=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            generate_periodic(9, 3, 2, pattern=np.array([0, 1, 5]))
+
+    def test_embedded_period_detected_with_confidence_one(self, rng):
+        series = generate_periodic(500, 25, 10, rng=rng)
+        table = SpectralMiner(max_period=100).periodicity_table(series)
+        for period in (25, 50, 75):
+            assert table.confidence(period) == pytest.approx(1.0)
+
+    def test_reproducible_with_seed(self):
+        a = generate_periodic(50, 5, 4, rng=np.random.default_rng(42))
+        b = generate_periodic(50, 5, 4, rng=np.random.default_rng(42))
+        assert a == b
+
+    def test_rejects_bad_length(self, rng):
+        with pytest.raises(ValueError):
+            generate_periodic(0, 5, 3, rng=rng)
+
+
+class TestGenerateRandom:
+    def test_length_and_alphabet(self, rng):
+        series = generate_random(200, 6, rng=rng)
+        assert series.length == 200
+        assert series.sigma == 6
+
+    def test_no_strong_periodicity(self, rng):
+        series = generate_random(2000, 10, rng=rng)
+        table = SpectralMiner(max_period=50).periodicity_table(series)
+        # i.i.d. uniform data: supports hover near 1/sigma, far from 1.
+        for period in (10, 25, 50):
+            assert table.confidence(period) < 0.5
+
+    def test_rejects_bad_length(self, rng):
+        with pytest.raises(ValueError):
+            generate_random(0, 3, rng=rng)

@@ -1,0 +1,38 @@
+"""Execute the docstring examples of the public modules.
+
+The `>>>` examples in the docstrings are documentation; this module
+keeps them honest by running them as doctests.
+"""
+
+import doctest
+import importlib
+
+import numpy as np
+import pytest
+
+MODULE_NAMES = [
+    "repro.core.alphabet",
+    "repro.core.sequence",
+    # note: importlib, not attribute access — `repro.core.projection` the
+    # *function* shadows the module attribute on the package.
+    "repro.core.projection",
+    "repro.core.mapping",
+    "repro.core.pattern_text",
+    "repro.core.results",
+    "repro.analysis.calendar",
+    "repro.data.noise",
+    "repro.data.synthetic",
+]
+
+MODULES = [importlib.import_module(name) for name in MODULE_NAMES]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        extraglobs={"np": np},
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, f"{module.__name__} lost its examples"

@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.forecast."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PeriodicForecaster, evaluate_forecaster
+from repro.core import Alphabet, SymbolSequence
+from repro.data import apply_noise, generate_periodic, generate_random
+
+
+class TestFitting:
+    def test_discovers_the_period(self, rng):
+        series = generate_periodic(400, 9, 5, rng=rng)
+        forecaster = PeriodicForecaster(max_period=30).fit(series)
+        assert forecaster.period % 9 == 0
+
+    def test_explicit_period_respected(self, rng):
+        series = generate_periodic(200, 8, 4, rng=rng)
+        forecaster = PeriodicForecaster(period=8).fit(series)
+        assert forecaster.period == 8
+
+    def test_unfitted_raises(self):
+        forecaster = PeriodicForecaster()
+        with pytest.raises(RuntimeError):
+            forecaster.predict(3)
+        with pytest.raises(RuntimeError):
+            _ = forecaster.period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicForecaster(period=0)
+        with pytest.raises(ValueError):
+            PeriodicForecaster(smoothing=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicForecaster().fit(SymbolSequence.from_string("a"))
+
+
+class TestPrediction:
+    def test_perfect_continuation(self, rng):
+        pattern = np.array([0, 1, 2, 3, 1])
+        series = generate_periodic(200, 5, 4, rng=rng, pattern=pattern)
+        forecaster = PeriodicForecaster(period=5).fit(series)
+        predicted = forecaster.predict_codes(10)
+        expected = [int(pattern[(200 + i) % 5]) for i in range(10)]
+        assert predicted.tolist() == expected
+
+    def test_predict_symbols(self, rng):
+        series = generate_periodic(100, 4, 3, rng=rng)
+        forecaster = PeriodicForecaster(period=4).fit(series)
+        symbols = forecaster.predict(4)
+        assert symbols == series.alphabet.decode(forecaster.predict_codes(4))
+
+    def test_probabilities_shape_and_normalisation(self, rng):
+        series = generate_periodic(120, 6, 4, rng=rng)
+        forecaster = PeriodicForecaster(period=6).fit(series)
+        probs = forecaster.probabilities(9)
+        assert probs.shape == (9, 4)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_horizon_validation(self, rng):
+        series = generate_periodic(50, 5, 3, rng=rng)
+        forecaster = PeriodicForecaster(period=5).fit(series)
+        with pytest.raises(ValueError):
+            forecaster.predict_codes(0)
+
+
+class TestEvaluation:
+    def test_beats_baseline_on_periodic_data(self, rng):
+        series = apply_noise(
+            generate_periodic(3000, 12, 6, rng=rng), 0.1, "R", rng
+        )
+        evaluation = evaluate_forecaster(series, horizon=300, period=12)
+        assert evaluation.accuracy > 0.75
+        assert evaluation.lift > 0.3
+
+    def test_matches_baseline_on_random_data(self, rng):
+        series = generate_random(2000, 5, rng=rng)
+        evaluation = evaluate_forecaster(series, horizon=200, period=7)
+        assert abs(evaluation.lift) < 0.15
+
+    def test_discovered_period_evaluation(self, rng):
+        series = generate_periodic(1500, 10, 6, rng=rng)
+        evaluation = evaluate_forecaster(series, horizon=100, max_period=40)
+        assert evaluation.accuracy == pytest.approx(1.0)
+
+    def test_horizon_validation(self, rng):
+        series = generate_periodic(50, 5, 3, rng=rng)
+        with pytest.raises(ValueError):
+            evaluate_forecaster(series, horizon=0)
+        with pytest.raises(ValueError):
+            evaluate_forecaster(series, horizon=50)

@@ -1,0 +1,95 @@
+"""Tests for repro.data.loaders."""
+
+import numpy as np
+import pytest
+
+from repro.core import Alphabet
+from repro.data import load_csv_symbols, load_csv_values
+
+
+@pytest.fixture
+def numeric_csv(tmp_path):
+    path = tmp_path / "values.csv"
+    path.write_text("timestamp,watts\n1,6100\n2,8200\n3,9100\n4,5800\n")
+    return path
+
+
+@pytest.fixture
+def headerless_csv(tmp_path):
+    path = tmp_path / "plain.csv"
+    path.write_text("1.5\n2.5\n3.5\n")
+    return path
+
+
+@pytest.fixture
+def symbol_csv(tmp_path):
+    path = tmp_path / "levels.csv"
+    path.write_text("day,level\n1,low\n2,high\n3,low\n4,low\n")
+    return path
+
+
+class TestLoadValues:
+    def test_by_header_name(self, numeric_csv):
+        values = load_csv_values(numeric_csv, "watts")
+        assert values.tolist() == [6100.0, 8200.0, 9100.0, 5800.0]
+
+    def test_by_index_with_header(self, numeric_csv):
+        values = load_csv_values(numeric_csv, 1)
+        assert values.tolist() == [6100.0, 8200.0, 9100.0, 5800.0]
+
+    def test_headerless_by_index(self, headerless_csv):
+        assert load_csv_values(headerless_csv, 0).tolist() == [1.5, 2.5, 3.5]
+
+    def test_unknown_header(self, numeric_csv):
+        with pytest.raises(ValueError, match="no column"):
+            load_csv_values(numeric_csv, "volts")
+
+    def test_non_numeric_cell(self, symbol_csv):
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_csv_values(symbol_csv, "level")
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_csv_values(empty, 0)
+
+    def test_missing_index_column(self, tmp_path):
+        ragged = tmp_path / "ragged.csv"
+        ragged.write_text("1,2\n3\n")
+        with pytest.raises(ValueError, match="no column 1"):
+            load_csv_values(ragged, 1)
+
+    def test_feeds_the_pipeline(self, tmp_path, rng):
+        from repro import PeriodicityPipeline
+        from repro.data import SeasonalTrace
+
+        values = SeasonalTrace(length=800, noise_sd=0.3).values(rng)
+        path = tmp_path / "trace.csv"
+        path.write_text("v\n" + "\n".join(f"{v:.4f}" for v in values) + "\n")
+        report = PeriodicityPipeline(psi=0.6, max_period=30).run_values(
+            load_csv_values(path, "v")
+        )
+        assert report.base_periods[0] == 8
+
+
+class TestLoadSymbols:
+    def test_by_header(self, symbol_csv):
+        series = load_csv_symbols(symbol_csv, "level")
+        assert series.symbols() == ["low", "high", "low", "low"]
+        assert series.alphabet.symbols == ("low", "high")
+
+    def test_explicit_alphabet(self, symbol_csv):
+        alphabet = Alphabet(["high", "low"])
+        series = load_csv_symbols(symbol_csv, "level", alphabet)
+        assert series.codes.tolist() == [1, 0, 1, 1]
+
+    def test_unknown_symbol_with_explicit_alphabet(self, symbol_csv):
+        with pytest.raises(KeyError):
+            load_csv_symbols(symbol_csv, "level", Alphabet(["low"]))
+
+    def test_empty_column(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("level\n")
+        with pytest.raises(ValueError):
+            load_csv_symbols(path, "level")

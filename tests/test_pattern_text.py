@@ -1,0 +1,99 @@
+"""Tests for repro.core.pattern_text."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Alphabet,
+    PeriodicPattern,
+    SymbolSequence,
+    parse_pattern,
+    pattern_support_curve,
+    segment_matches,
+)
+
+
+class TestParsePattern:
+    def test_paper_style_string(self):
+        pattern = parse_pattern("ab*", Alphabet("abc"))
+        assert pattern.period == 3
+        assert pattern.items == ((0, 0), (1, 1))
+
+    def test_round_trip_with_to_string(self):
+        alphabet = Alphabet("abc")
+        original = PeriodicPattern.from_items(5, {1: 2, 4: 0})
+        assert parse_pattern(original.to_string(alphabet), alphabet) == original
+
+    def test_all_dont_care(self):
+        pattern = parse_pattern("***", Alphabet("ab"))
+        assert pattern.arity == 0
+
+    def test_support_annotation(self):
+        pattern = parse_pattern("a*", Alphabet("ab"), support=0.5)
+        assert pattern.support == 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_pattern("", Alphabet("ab"))
+
+    def test_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            parse_pattern("az", Alphabet("ab"))
+
+
+class TestSegmentMatches:
+    def test_full_period_pattern(self):
+        series = SymbolSequence.from_string("abcabcabx")
+        pattern = parse_pattern("abc", series.alphabet)
+        assert segment_matches(series, pattern).tolist() == [True, True, False]
+
+    def test_partial_pattern(self):
+        series = SymbolSequence.from_string("axbxaybyazbz")
+        pattern = parse_pattern("a*b*", series.alphabet)
+        assert segment_matches(series, pattern).tolist() == [True, True, True]
+
+    def test_trailing_partial_segment_excluded(self):
+        series = SymbolSequence.from_string("ababa")
+        pattern = parse_pattern("ab", series.alphabet)
+        assert segment_matches(series, pattern).size == 2
+
+    def test_agrees_with_matches_segment(self, rng):
+        codes = rng.integers(0, 3, size=60)
+        series = SymbolSequence.from_codes(codes, Alphabet.of_size(3))
+        pattern = PeriodicPattern.from_items(5, {0: 1, 3: 2})
+        vector = segment_matches(series, pattern)
+        for m in range(12):
+            segment = tuple(int(c) for c in codes[m * 5 : (m + 1) * 5])
+            assert vector[m] == pattern.matches_segment(segment)
+
+
+class TestSupportCurve:
+    def test_constant_match(self):
+        series = SymbolSequence.from_string("ab" * 20)
+        pattern = parse_pattern("ab", series.alphabet)
+        curve = pattern_support_curve(series, pattern, window_segments=4)
+        assert np.allclose(curve, 1.0)
+
+    def test_decay_detected(self):
+        series = SymbolSequence.from_string("ab" * 10 + "bb" * 10)
+        pattern = parse_pattern("ab", series.alphabet)
+        curve = pattern_support_curve(series, pattern, window_segments=4)
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[-1] == pytest.approx(0.0)
+
+    def test_short_series_single_point(self):
+        series = SymbolSequence.from_string("abab")
+        pattern = parse_pattern("ab", series.alphabet)
+        curve = pattern_support_curve(series, pattern, window_segments=10)
+        assert curve.tolist() == [1.0]
+
+    def test_empty_when_no_full_segment(self):
+        series = SymbolSequence.from_string("a", Alphabet("ab"))
+        pattern = parse_pattern("ab", series.alphabet)
+        assert pattern_support_curve(series, pattern).size == 0
+
+    def test_rejects_bad_window(self):
+        series = SymbolSequence.from_string("abab")
+        pattern = parse_pattern("ab", series.alphabet)
+        with pytest.raises(ValueError):
+            pattern_support_curve(series, pattern, window_segments=0)
