@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench bench-regress examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Perf-regression trajectory: times the exact engines and writes
+# BENCH_PR1.json so later PRs can diff wall-clock against this one.
+bench-regress:
+	PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_PR1.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

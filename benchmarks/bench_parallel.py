@@ -1,0 +1,132 @@
+"""Perf-regression bench for the sharded parallel witness engine.
+
+Standalone (not pytest-benchmark) so CI can run it via
+``make bench-regress``::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_PR1.json
+
+Times the exact-engine configurations on one synthetic series and emits
+a JSON trajectory file — ``engine, n, sigma, workers, max_period,
+seconds`` per record plus the headline parallel-vs-wordarray speedup —
+so future PRs have a baseline to compare against.  Before timing, the
+engines are cross-checked for table equality on a truncated period
+range; a bench that drifts from correctness is worse than no bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench_utils import record
+
+from repro.core import Alphabet, ConvolutionMiner, SymbolSequence
+from repro.core.spectral_miner import SpectralMiner
+
+
+def make_series(n: int, sigma: int, seed: int = 2004) -> SymbolSequence:
+    """Uniform i.i.d. series — worst case for witness sparsity."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, sigma, size=n).astype(np.int64)
+    return SymbolSequence.from_codes(codes, Alphabet.of_size(sigma))
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run(args: argparse.Namespace) -> dict:
+    series = make_series(args.n, args.sigma)
+    workers = args.workers or os.cpu_count() or 1
+
+    check_cap = min(args.max_period, 200)
+    reference = ConvolutionMiner(
+        engine="wordarray", max_period=check_cap
+    ).periodicity_table(series)
+    candidate = ConvolutionMiner(
+        engine="parallel", max_period=check_cap, workers=workers
+    ).periodicity_table(series)
+    if reference != candidate:
+        raise SystemExit("engine mismatch: parallel != wordarray — not timing a bug")
+
+    configs = [
+        ("wordarray", None),
+        ("parallel", 1),
+        ("parallel", workers),
+        ("spectral", None),
+    ]
+    records = []
+    for engine, engine_workers in configs:
+        if engine == "spectral":
+            miner = SpectralMiner(max_period=args.max_period)
+        else:
+            miner = ConvolutionMiner(
+                engine=engine, max_period=args.max_period, workers=engine_workers
+            )
+        seconds = timed(lambda: miner.periodicity_table(series))
+        records.append(
+            {
+                "engine": engine,
+                "n": args.n,
+                "sigma": args.sigma,
+                "workers": engine_workers,
+                "max_period": args.max_period,
+                "seconds": round(seconds, 4),
+            }
+        )
+        print(
+            f"{engine:>10} workers={engine_workers or '-':>2}  "
+            f"{seconds:8.3f}s",
+            flush=True,
+        )
+
+    by_key = {(r["engine"], r["workers"]): r["seconds"] for r in records}
+    speedup = by_key[("wordarray", None)] / by_key[("parallel", workers)]
+    return {
+        "bench": "bench_parallel",
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "records": records,
+        "speedup_parallel_vs_wordarray": round(speedup, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=200_000)
+    parser.add_argument("--sigma", type=int, default=4)
+    parser.add_argument("--max-period", type=int, default=1_000)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel-engine worker cap (default: CPU count)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_PR1.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run (n=20k, 100 periods)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.max_period = 20_000, 100
+
+    payload = run(args)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    summary = (
+        f"n={args.n} sigma={args.sigma} max_period={args.max_period}: "
+        f"parallel is {payload['speedup_parallel_vs_wordarray']}x wordarray "
+        f"({payload['cpu_count']} CPU)"
+    )
+    record("bench_parallel", summary)
+    print(f"\n{summary}\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

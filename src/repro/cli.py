@@ -51,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="symbol order, e.g. 'abcde' (default: sorted)")
     mine_cmd.add_argument("--algorithm", choices=("spectral", "convolution"),
                           default="spectral")
+    mine_cmd.add_argument("--engine",
+                          choices=("bitand", "kronecker", "wordarray", "parallel"),
+                          default="bitand",
+                          help="exact engine for --algorithm convolution "
+                               "(parallel = sharded worker pool)")
+    mine_cmd.add_argument("--workers", type=int, default=None,
+                          help="worker cap for --engine parallel "
+                               "(default: CPU count)")
     mine_cmd.add_argument("--max-period", type=int, default=None)
     mine_cmd.add_argument("--periods", default=None,
                           help="comma-separated periods to mine patterns at")
@@ -148,6 +156,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         max_period=args.max_period,
         periods=periods,
         max_arity=args.max_arity,
+        engine=args.engine,
+        workers=args.workers,
     )
     print(f"series: n={series.length}, sigma={series.sigma}")
     print(result.render(limit=args.top))

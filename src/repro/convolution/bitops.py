@@ -23,27 +23,40 @@ __all__ = [
     "word_and",
     "set_bit_positions",
     "shifted_self_and",
+    "unpack_bits",
+    "popcount",
 ]
 
 _WORD = 64
+
+#: bits set in each possible byte value, for the vectorised popcount.
+_BYTE_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.int64)
 
 
 def pack_positions(positions: np.ndarray, total_bits: int) -> np.ndarray:
     """Pack set-bit positions into a little-endian ``uint64`` word array.
 
     Equivalent to :func:`repro.convolution.bigint.pack_bits` but returns
-    the words instead of one Python integer.
+    the words instead of one Python integer.  Grouped ``reduceat`` pack:
+    the per-word masks are OR-reduced in one vectorised pass instead of
+    the scalar inner loop of ``np.bitwise_or.at``, which matters because
+    packing is on the hot path of every exact engine.
     """
     positions = np.asarray(positions, dtype=np.int64)
-    if positions.size and (positions.min() < 0 or positions.max() >= total_bits):
-        raise ValueError("bit position out of range")
     words = np.zeros((total_bits + _WORD - 1) // _WORD, dtype=np.uint64)
-    if positions.size:
-        np.bitwise_or.at(
-            words,
-            positions // _WORD,
-            np.uint64(1) << (positions % _WORD).astype(np.uint64),
-        )
+    if positions.size == 0:
+        return words
+    if positions.min() < 0 or positions.max() >= total_bits:
+        raise ValueError("bit position out of range")
+    if positions.size > 1 and (np.diff(positions) < 0).any():
+        positions = np.sort(positions)
+    index = positions // _WORD
+    masks = np.uint64(1) << (positions % _WORD).astype(np.uint64)
+    starts = np.flatnonzero(np.diff(index)) + 1
+    starts = np.concatenate([np.zeros(1, dtype=starts.dtype), starts])
+    words[index[starts]] = np.bitwise_or.reduceat(masks, starts)
     return words
 
 
@@ -77,12 +90,39 @@ def set_bit_positions(words: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     # Expand only the non-zero words into bits (bounded by 64x blowup of
     # the sparse part, not of the whole array).
-    chunks = []
     bytes_view = words[nonzero].view(np.uint8).reshape(nonzero.size, 8)
     bits = np.unpackbits(bytes_view, axis=1, bitorder="little")
     local = np.nonzero(bits)
-    chunks = nonzero[local[0]] * _WORD + local[1]
-    return np.sort(chunks.astype(np.int64))
+    # np.nonzero on the 2D bit matrix is row-major — rows (words) ascend,
+    # and within a row the little-endian bit columns ascend — so the
+    # positions come out already sorted; no extra sort pass.
+    return (nonzero[local[0]] * _WORD + local[1]).astype(np.int64)
+
+
+def unpack_bits(words: np.ndarray, total_bits: int) -> np.ndarray:
+    """Dense 0/1 expansion of the first ``total_bits`` bits, as ``uint8``.
+
+    Entry ``e`` of the result is bit ``e`` of the packed array — the
+    inverse of :func:`pack_positions` read densely.  One vectorised
+    ``unpackbits`` pass; the count-only witness path builds its residue
+    classes on top of this instead of decoding sparse positions.
+    """
+    if total_bits < 0:
+        raise ValueError("total_bits must be non-negative")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if total_bits > words.size * _WORD:
+        raise ValueError("packed array holds fewer than total_bits bits")
+    n_words = (total_bits + _WORD - 1) // _WORD
+    bits = np.unpackbits(words[:n_words].view(np.uint8), bitorder="little")
+    return bits[:total_bits]
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits, via a vectorised per-byte table lookup."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return 0
+    return int(_BYTE_POPCOUNT[words.view(np.uint8)].sum())
 
 
 def shifted_self_and(words: np.ndarray, bits: int) -> np.ndarray:

@@ -39,6 +39,14 @@ Two exact engines compute step 2:
     big-int traffic by 2-3x; on short dense series the big-int engine's
     C fast path keeps the edge.
 
+``"parallel"``
+    The ``wordarray`` components sharded across a worker pool
+    (:mod:`repro.parallel`): the packed words are exported once via
+    shared memory, contiguous period shards run concurrently, and
+    ``periodicity_table`` takes a **count-only fast path** that sums
+    witness bits per ``(symbol, position)`` residue class instead of
+    decoding positions.  The ``workers=`` knob caps the pool.
+
 All engines produce bit-for-bit identical witness sets (property-tested
 against each other and against the quadratic reference).  For large
 series where only the counts matter, use
@@ -58,16 +66,19 @@ from ..convolution.bigint import (
     weighted_convolution_witnesses,
 )
 from ..convolution.bitops import pack_positions, shifted_self_and
+from ..parallel import ParallelWitnessEngine
 from .mapping import binary_vector, binary_vector_bits, witnesses_to_f2_table
 from .periodicity import PeriodicityTable
 from .sequence import SymbolSequence
 
 __all__ = ["ConvolutionMiner"]
 
-Engine = Literal["bitand", "kronecker", "wordarray"]
+Engine = Literal["bitand", "kronecker", "wordarray", "parallel"]
+
+_ENGINES = ("bitand", "kronecker", "wordarray", "parallel")
 
 #: Kronecker products hold (sigma*n)**2 bits; past this the engine would
-#: allocate gigabytes, so it refuses and points at "bitand".
+#: allocate gigabytes, so it refuses and points at the lazy engines.
 _KRONECKER_MAX_BITS = 30_000
 
 
@@ -77,18 +88,30 @@ class ConvolutionMiner:
     Parameters
     ----------
     engine:
-        ``"bitand"`` (default) or ``"kronecker"`` — see the module
-        docstring.  Outputs are identical.
+        ``"bitand"`` (default), ``"kronecker"``, ``"wordarray"``, or
+        ``"parallel"`` — see the module docstring.  Outputs are
+        identical.
     max_period:
         Largest period to analyse; defaults to ``n // 2`` per the paper's
         Fig. 2 loop.
+    workers:
+        Worker cap for the ``"parallel"`` engine (default: CPU count);
+        ignored by the serial engines.
     """
 
-    def __init__(self, engine: Engine = "bitand", max_period: int | None = None):
-        if engine not in ("bitand", "kronecker", "wordarray"):
+    def __init__(
+        self,
+        engine: Engine = "bitand",
+        max_period: int | None = None,
+        workers: int | None = None,
+    ):
+        if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         self._engine = engine
         self._max_period = max_period
+        self._workers = workers
 
     # -- public API ------------------------------------------------------------
 
@@ -107,17 +130,43 @@ class ConvolutionMiner:
             witnesses = self._kronecker_witnesses(series, max_period)
         elif self._engine == "wordarray":
             witnesses = self._wordarray_witnesses(series, max_period)
+        elif self._engine == "parallel":
+            witnesses = self._parallel_engine().witness_sets(
+                self._packed_words(series), series.length, series.sigma, max_period
+            )
         else:
             witnesses = self._bitand_witnesses(series, max_period)
         return {p: w for p, w in witnesses.items() if w.size}
 
-    def periodicity_table(self, series: SymbolSequence) -> PeriodicityTable:
-        """Mine the full ``F2`` evidence table of the series."""
-        counts = {
-            p: witnesses_to_f2_table(w, series.length, series.sigma, p)
+    def f2_tables(
+        self, series: SymbolSequence
+    ) -> dict[int, dict[tuple[int, int], int]]:
+        """The per-period ``F2`` tables ``{(symbol, position): count}``.
+
+        The ``"parallel"`` engine serves this from its count-only fast
+        path — witness cardinalities summed per residue class, no
+        position decode; the serial engines decode witness sets and
+        group them.  Results are identical.
+        """
+        n = series.length
+        max_period = self._resolve_max_period(n)
+        if self._engine == "parallel":
+            if n < 2 or max_period < 1:
+                return {}
+            tables = self._parallel_engine().f2_tables(
+                self._packed_words(series), n, series.sigma, max_period
+            )
+            return {p: t for p, t in tables.items() if t}
+        return {
+            p: witnesses_to_f2_table(w, n, series.sigma, p)
             for p, w in self.witness_sets(series).items()
         }
-        return PeriodicityTable(series.length, series.alphabet, counts)
+
+    def periodicity_table(self, series: SymbolSequence) -> PeriodicityTable:
+        """Mine the full ``F2`` evidence table of the series."""
+        return PeriodicityTable(
+            series.length, series.alphabet, self.f2_tables(series)
+        )
 
     # -- engines ---------------------------------------------------------------
 
@@ -141,12 +190,19 @@ class ConvolutionMiner:
             out[p] = bit_positions(component)
         return out
 
+    def _packed_words(self, series: SymbolSequence) -> np.ndarray:
+        """The series packed as the ``uint64`` word array ``X``."""
+        total = series.sigma * series.length
+        return pack_positions(total - 1 - binary_vector_bits(series), total)
+
+    def _parallel_engine(self) -> ParallelWitnessEngine:
+        return ParallelWitnessEngine(workers=self._workers)
+
     def _wordarray_witnesses(
         self, series: SymbolSequence, max_period: int
     ) -> dict[int, np.ndarray]:
         sigma = series.sigma
-        total = sigma * series.length
-        words = pack_positions(total - 1 - binary_vector_bits(series), total)
+        words = self._packed_words(series)
         return {
             p: shifted_self_and(words, sigma * p)
             for p in range(1, max_period + 1)
@@ -159,9 +215,10 @@ class ConvolutionMiner:
         total = vector.size
         if total > _KRONECKER_MAX_BITS:
             raise ValueError(
-                f"kronecker engine would build a {total * total}-bit product "
-                f"(sigma*n = {total} > {_KRONECKER_MAX_BITS}); "
-                "use engine='bitand' or the SpectralMiner"
+                f"kronecker engine refuses sigma*n = {total:,} "
+                f"(limit {_KRONECKER_MAX_BITS:,}): the product would hold "
+                f"about {total * total:,} bits; use engine='bitand', "
+                "'wordarray', or 'parallel', or the SpectralMiner"
             )
         components = weighted_convolution_witnesses(vector[::-1], vector)
         sigma = series.sigma

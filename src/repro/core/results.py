@@ -93,6 +93,9 @@ def mine(
     periods: list[int] | None = None,
     max_arity: int | None = None,
     prune: bool = True,
+    engine: str = "bitand",
+    workers: int | None = None,
+    table: PeriodicityTable | None = None,
 ) -> MiningResult:
     """Mine all obscure periodic patterns of a series.
 
@@ -117,6 +120,17 @@ def mine(
         (saves time; the returned table then only supports thresholds
         ``>= psi``).  Ignored by the convolution algorithm, which is
         always exact.
+    engine:
+        Exact-engine choice for ``algorithm="convolution"``
+        (``"bitand"``, ``"kronecker"``, ``"wordarray"``, or
+        ``"parallel"``); ignored by the spectral miner.
+    workers:
+        Worker cap for ``engine="parallel"``.
+    table:
+        A :class:`PeriodicityTable` already mined from ``series`` —
+        skips the mining pass entirely and re-derives periodicities and
+        patterns from it (how the pipeline reuses its stage-1 scouting
+        evidence instead of mining the series twice).
 
     Examples
     --------
@@ -125,11 +139,15 @@ def mine(
     >>> sorted(p.to_string(result.alphabet) for p in result.patterns_for(3))
     ['*b*', 'a**', 'ab*']
     """
-    if algorithm == "spectral":
+    if table is not None:
+        pass
+    elif algorithm == "spectral":
         miner = SpectralMiner(psi=psi if prune else None, max_period=max_period)
         table = miner.periodicity_table(series)
     elif algorithm == "convolution":
-        table = ConvolutionMiner(max_period=max_period).periodicity_table(series)
+        table = ConvolutionMiner(
+            engine=engine, max_period=max_period, workers=workers
+        ).periodicity_table(series)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     periodicities = tuple(table.periodicities(psi))

@@ -1,0 +1,83 @@
+"""Zero-copy transport of the packed word array to worker processes.
+
+A mining run over ``max_period`` shards would, with naive
+``ProcessPoolExecutor`` argument passing, pickle the packed ``uint64``
+array once **per task** — megabytes of redundant copying that dwarfs
+the per-shard compute.  Instead the parent exports the words once into
+a :mod:`multiprocessing.shared_memory` segment; workers attach by name
+and map the same physical pages read-only-by-convention, so a shard
+task ships only the segment name and a handful of integers.
+
+Lifecycle: the parent owns the segment (create + unlink via the
+:class:`SharedWords` context manager); workers attach, compute, drop
+their view, and close.  Attachment is untracked where the runtime
+allows it, so a worker exiting never unlinks the parent's segment.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedWords", "attach_words"]
+
+
+class SharedWords:
+    """A ``uint64`` word array exported once via shared memory.
+
+    Use as a context manager; the segment is unlinked on exit::
+
+        with SharedWords(words) as shared:
+            pool.submit(worker, shared.name, shared.n_words, ...)
+    """
+
+    __slots__ = ("_shm", "n_words")
+
+    def __init__(self, words: np.ndarray):
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        self.n_words = int(words.size)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, words.nbytes)
+        )
+        if self.n_words:
+            view = np.frombuffer(self._shm.buf, dtype=np.uint64, count=self.n_words)
+            view[:] = words
+            del view
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach to."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release the parent's mapping and unlink the segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedWords":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_words(name: str, n_words: int) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach to an exported segment; returns ``(view, handle)``.
+
+    The caller must drop every reference to ``view`` before calling
+    ``handle.close()`` (a live numpy view pins the mapping).
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13 has no ``track`` parameter; attaching registers
+        # with the resource tracker, which pool workers share with the
+        # parent, so the duplicate registration deduplicates to a no-op
+        # and the parent's unlink stays the single cleanup point.
+        shm = shared_memory.SharedMemory(name=name)
+    words = np.frombuffer(shm.buf, dtype=np.uint64, count=n_words)
+    return words, shm

@@ -97,6 +97,12 @@ class PeriodicityPipeline:
     anomaly_threshold:
         Violation score at which a segment is flagged (``None``
         disables anomaly detection).
+    engine:
+        Exact-engine choice when ``algorithm="convolution"``; with
+        ``"parallel"`` the scouting stage runs the sharded count-only
+        fast path (:mod:`repro.parallel`).
+    workers:
+        Worker cap for ``engine="parallel"``.
     """
 
     def __init__(
@@ -108,6 +114,8 @@ class PeriodicityPipeline:
         max_arity: int | None = 6,
         significance_alpha: float | None = 1e-3,
         anomaly_threshold: float | None = 0.6,
+        engine: str = "bitand",
+        workers: int | None = None,
     ):
         if not 0 < psi <= 1:
             raise ValueError("psi must lie in (0, 1]")
@@ -118,6 +126,8 @@ class PeriodicityPipeline:
         self._max_arity = max_arity
         self._alpha = significance_alpha
         self._anomaly_threshold = anomaly_threshold
+        self._engine = engine
+        self._workers = workers
 
     def run_values(
         self, values: Sequence[float] | np.ndarray
@@ -129,16 +139,21 @@ class PeriodicityPipeline:
         """Run the pipeline on an already-symbolic series."""
         # Stage 1: mine the evidence table; defer pattern mining until
         # the base periods are known (Definition 3 explodes on their
-        # multiples).
+        # multiples).  With the parallel convolution engine this stage
+        # runs the sharded count-only fast path.
         scouting = mine(
             series,
             psi=self._psi,
             algorithm=self._algorithm,
             max_period=self._max_period,
             periods=[],
+            engine=self._engine,
+            workers=self._workers,
         )
         families = tuple(base_periods(scouting.table, self._psi))
         bases = [f.base for f in families]
+        # Stage 2 re-derives patterns from the stage-1 evidence table —
+        # the series is packed and mined exactly once per run.
         result = mine(
             series,
             psi=self._psi,
@@ -146,6 +161,7 @@ class PeriodicityPipeline:
             max_period=self._max_period,
             periods=bases[:5],
             max_arity=self._max_arity,
+            table=scouting.table,
         )
         significant: tuple[int, ...] = ()
         if self._alpha is not None:

@@ -66,6 +66,23 @@ class TestMine:
         assert code == 0
         assert "p=12" in capsys.readouterr().out
 
+    def test_parallel_engine_flags(self, series_file, capsys):
+        code = main(
+            ["mine", str(series_file), "--psi", "0.9",
+             "--algorithm", "convolution", "--engine", "parallel",
+             "--workers", "2", "--max-period", "15",
+             "--periods", "12", "--max-arity", "1"]
+        )
+        assert code == 0
+        assert "p=12" in capsys.readouterr().out
+
+    def test_rejects_unknown_engine(self, series_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", str(series_file), "--psi", "0.5",
+                 "--engine", "quantum"]
+            )
+
 
 class TestPeriods:
     def test_lists_candidates(self, series_file, capsys):

@@ -109,3 +109,71 @@ class TestPipeline:
     def test_rejects_bad_psi(self):
         with pytest.raises(ValueError):
             PeriodicityPipeline(psi=0.0)
+
+    def test_single_mining_pass_spectral(self, rng, monkeypatch):
+        """Stage 2 reuses the stage-1 table: exactly one mining pass."""
+        from repro.core.spectral_miner import SpectralMiner
+
+        calls = []
+        original = SpectralMiner.periodicity_table
+        monkeypatch.setattr(
+            SpectralMiner,
+            "periodicity_table",
+            lambda self, series: calls.append(1) or original(self, series),
+        )
+        trace = SeasonalTrace(length=800, noise_sd=0.3)
+        report = PeriodicityPipeline(psi=0.6, max_period=30).run_values(
+            trace.values(rng)
+        )
+        assert report.base_periods  # the run found real structure ...
+        assert len(calls) == 1  # ... from a single pass over the series
+
+    def test_single_mining_pass_parallel_convolution(self, rng, monkeypatch):
+        """Convolution scouting packs and mines the series exactly once."""
+        from repro.core.convolution_miner import ConvolutionMiner
+
+        table_calls = []
+        pack_calls = []
+        original_table = ConvolutionMiner.periodicity_table
+        original_pack = ConvolutionMiner._packed_words
+        monkeypatch.setattr(
+            ConvolutionMiner,
+            "periodicity_table",
+            lambda self, series: table_calls.append(1)
+            or original_table(self, series),
+        )
+        monkeypatch.setattr(
+            ConvolutionMiner,
+            "_packed_words",
+            lambda self, series: pack_calls.append(1)
+            or original_pack(self, series),
+        )
+        trace = SeasonalTrace(length=600, noise_sd=0.2)
+        pipeline = PeriodicityPipeline(
+            psi=0.6,
+            max_period=30,
+            algorithm="convolution",
+            engine="parallel",
+            workers=2,
+        )
+        report = pipeline.run_values(trace.values(rng))
+        assert report.base_periods[0] == trace.seasonal_period
+        assert len(table_calls) == 1
+        assert len(pack_calls) == 1
+
+    def test_parallel_engine_matches_default_pipeline(self, rng):
+        trace = SeasonalTrace(length=800, noise_sd=0.3)
+        values = trace.values(rng)
+        serial = PeriodicityPipeline(
+            psi=0.6, max_period=30, algorithm="convolution"
+        ).run_values(values)
+        parallel = PeriodicityPipeline(
+            psi=0.6,
+            max_period=30,
+            algorithm="convolution",
+            engine="parallel",
+            workers=3,
+        ).run_values(values)
+        assert serial.base_periods == parallel.base_periods
+        assert serial.result.table == parallel.result.table
+        assert serial.significant == parallel.significant
