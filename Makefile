@@ -1,12 +1,20 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-regress examples experiments clean
+.PHONY: install test lint typecheck bench bench-regress examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Custom AST invariant analyzers (RL001-RL005) over code and docs.
+lint:
+	PYTHONPATH=src python -m repro.lint src tests docs README.md
+
+# Strict typing gate: mypy when installed, stdlib annotation gate otherwise.
+typecheck:
+	python scripts/typecheck.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -35,6 +35,8 @@ from .core import (
     Alphabet,
     ConvolutionMiner,
     DONT_CARE,
+    ENGINES,
+    Engine,
     MiningResult,
     PeriodicPattern,
     PeriodicityTable,
@@ -53,6 +55,8 @@ __all__ = [
     "Alphabet",
     "ConvolutionMiner",
     "DONT_CARE",
+    "ENGINES",
+    "Engine",
     "MiningResult",
     "PeriodicPattern",
     "PeriodicityTable",

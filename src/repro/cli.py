@@ -21,7 +21,7 @@ from pathlib import Path
 import numpy as np
 
 from .analysis.significance import significant_periods
-from .core import Alphabet, SymbolSequence, mine
+from .core import ENGINES, Alphabet, SymbolSequence, mine
 from .core.spectral_miner import SpectralMiner
 from .data import (
     EventLogSimulator,
@@ -52,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("--algorithm", choices=("spectral", "convolution"),
                           default="spectral")
     mine_cmd.add_argument("--engine",
-                          choices=("bitand", "kronecker", "wordarray", "parallel"),
+                          choices=ENGINES,
                           default="bitand",
                           help="exact engine for --algorithm convolution "
                                "(parallel = sharded worker pool)")

@@ -29,7 +29,7 @@ from .mapping import (
     witnesses_to_f2_table,
 )
 from .periodicity import PeriodicityTable, SymbolPeriodicity
-from .convolution_miner import ConvolutionMiner
+from .convolution_miner import ENGINES, ConvolutionMiner, Engine
 from .spectral_miner import SpectralMiner
 from .patterns import DONT_CARE, PeriodicPattern
 from .candidates import (
@@ -61,6 +61,8 @@ __all__ = [
     "PeriodicityTable",
     "SymbolPeriodicity",
     "ConvolutionMiner",
+    "Engine",
+    "ENGINES",
     "SpectralMiner",
     "DONT_CARE",
     "PeriodicPattern",

@@ -43,7 +43,7 @@ class Alphabet:
 
     __slots__ = ("_symbols", "_codes")
 
-    def __init__(self, symbols: Iterable[Hashable]):
+    def __init__(self, symbols: Iterable[Hashable]) -> None:
         self._symbols: tuple[Hashable, ...] = tuple(symbols)
         if not self._symbols:
             raise ValueError("an alphabet needs at least one symbol")

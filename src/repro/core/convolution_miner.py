@@ -71,11 +71,17 @@ from .mapping import binary_vector, binary_vector_bits, witnesses_to_f2_table
 from .periodicity import PeriodicityTable
 from .sequence import SymbolSequence
 
-__all__ = ["ConvolutionMiner"]
+__all__ = ["ConvolutionMiner", "Engine", "ENGINES"]
 
 Engine = Literal["bitand", "kronecker", "wordarray", "parallel"]
 
-_ENGINES = ("bitand", "kronecker", "wordarray", "parallel")
+#: the engine registry — the single source of truth the CLI choices,
+#: the ``Engine`` alias, docs, and tests are all checked against
+#: (lint rule RL004).
+ENGINES: tuple[Engine, ...] = ("bitand", "kronecker", "wordarray", "parallel")
+
+# Backwards-compatible alias; new code should import ENGINES.
+_ENGINES = ENGINES
 
 #: Kronecker products hold (sigma*n)**2 bits; past this the engine would
 #: allocate gigabytes, so it refuses and points at the lazy engines.
@@ -104,8 +110,8 @@ class ConvolutionMiner:
         engine: Engine = "bitand",
         max_period: int | None = None,
         workers: int | None = None,
-    ):
-        if engine not in _ENGINES:
+    ) -> None:
+        if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")

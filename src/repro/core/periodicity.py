@@ -81,7 +81,7 @@ class PeriodicityTable:
         n: int,
         alphabet: Alphabet,
         counts: Mapping[int, Mapping[tuple[int, int], int]],
-    ):
+    ) -> None:
         self._n = n
         self._alphabet = alphabet
         self._counts: dict[int, dict[tuple[int, int], int]] = {

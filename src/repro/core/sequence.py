@@ -38,7 +38,7 @@ class SymbolSequence:
 
     __slots__ = ("_codes", "_alphabet")
 
-    def __init__(self, codes: np.ndarray, alphabet: Alphabet):
+    def __init__(self, codes: np.ndarray, alphabet: Alphabet) -> None:
         codes = np.asarray(codes, dtype=np.int64)
         if codes.ndim != 1:
             raise ValueError("a time series must be one-dimensional")
@@ -146,7 +146,7 @@ class SymbolSequence:
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self.symbols())
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: int | slice) -> "SymbolSequence | Hashable":
         if isinstance(item, slice):
             return SymbolSequence(self._codes[item], self._alphabet)
         return self._alphabet.symbol(int(self._codes[item]))

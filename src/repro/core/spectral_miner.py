@@ -65,7 +65,7 @@ class SpectralMiner:
         psi: float | None = None,
         max_period: int | None = None,
         use_numpy_fft: bool = True,
-    ):
+    ) -> None:
         if psi is not None and not 0 < psi <= 1:
             raise ValueError("psi must be in (0, 1] or None")
         self._psi = psi

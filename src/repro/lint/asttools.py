@@ -1,0 +1,86 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "is_int_literal",
+    "walk_functions",
+    "pytest_raises_ranges",
+    "line_in_ranges",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The trailing identifier of a call target (``np.uint64`` -> ``uint64``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def is_int_literal(node: ast.AST) -> bool:
+    """An ``int`` constant, possibly under unary ``-``/``+``/``~``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd, ast.Invert)
+    ):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def pytest_raises_ranges(tree: ast.AST) -> list[tuple[int, int]]:
+    """Line ranges of ``with pytest.raises(...)`` bodies.
+
+    Negative tests legitimately feed invalid literals to the code under
+    test; registry-parity style rules skip anything inside these ranges.
+    """
+    ranges: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and dotted_name(expr.func) in ("pytest.raises", "raises")
+            ):
+                end = getattr(node, "end_lineno", None) or node.lineno
+                ranges.append((node.lineno, end))
+                break
+    return ranges
+
+
+def line_in_ranges(line: int, ranges: list[tuple[int, int]]) -> bool:
+    """Whether ``line`` falls inside any inclusive ``(lo, hi)`` range."""
+    return any(lo <= line <= hi for lo, hi in ranges)

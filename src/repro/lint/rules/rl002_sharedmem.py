@@ -1,0 +1,201 @@
+"""RL002 — every ``SharedMemory`` handle must reach ``close()``.
+
+The parallel witness engine ships the packed word array to workers via
+:mod:`multiprocessing.shared_memory`.  A handle that is not closed on
+*every* path — including the exception path — pins the mapping: the
+parent's ``unlink`` then leaks the segment until process exit, and on
+platforms with small ``/dev/shm`` a long-running miner eventually
+fails all allocations.  The repo's convention
+(:mod:`repro.parallel.transport`) is: the owner closes in a
+``try/finally`` (or a context manager), or transfers ownership by
+returning the handle.
+
+The rule flags any function where a handle is acquired —
+``SharedMemory(...)`` directly, or through an attach helper like
+``attach_words(...)`` (last element of the unpacked tuple) — and
+
+* the handle is never assigned to a name (nothing can close it), or
+* the name's ``close()`` is not called from the ``finally`` block of a
+  ``try`` statement, and the handle is neither returned/yielded
+  (ownership transfer), stored on ``self`` (class-managed lifecycle),
+  nor used as a context manager.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asttools import call_name
+from ..framework import FileContext, Finding, Rule
+
+__all__ = ["SharedMemoryLifecycle"]
+
+#: helpers that return an attached handle as the last tuple element.
+_ATTACH_HELPERS = frozenset({"attach_words"})
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) == "SharedMemory"
+
+
+def _is_attach_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) in _ATTACH_HELPERS
+
+
+class _FunctionFacts:
+    """Everything RL002 needs to know about one function body."""
+
+    def __init__(self, body: list[ast.stmt]) -> None:
+        #: name -> acquisition node, for handles bound to simple names.
+        self.handles: dict[str, ast.AST] = {}
+        #: acquisition calls whose handle is never bound to a name.
+        self.unbound: list[ast.AST] = []
+        #: names whose ``.close()`` is called inside some ``finally``.
+        self.closed_in_finally: set[str] = set()
+        #: names that escape: returned, yielded, or used in ``with``.
+        self.escaped: set[str] = set()
+        self._collect(body, in_finally=False)
+
+    def _collect(self, body: list[ast.stmt], in_finally: bool) -> None:
+        for stmt in body:
+            self._collect_stmt(stmt, in_finally)
+
+    def _collect_stmt(self, stmt: ast.stmt, in_finally: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are analysed on their own
+        if in_finally:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    self.closed_in_finally.add(node.func.value.id)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self._mark_escaped(stmt.value)
+            if stmt.value is not None:
+                # `return SharedMemory(...)` (possibly in a tuple)
+                # transfers ownership; a handle buried deeper — e.g.
+                # `return bytes(SharedMemory(...).buf)` — leaks.
+                top_level = [stmt.value]
+                if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                    top_level = list(stmt.value.elts)
+                for expr in top_level:
+                    if not _is_shared_memory_call(expr):
+                        self._scan_value(expr, bound=False)
+        elif isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                self._mark_escaped(value.value)
+            else:
+                self._scan_value(value, bound=False)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name):
+                    # `with shm:` / `with closing(shm)`-style usage is
+                    # approximated as managed.
+                    self.escaped.add(expr.id)
+        if isinstance(stmt, ast.Try):
+            self._collect(stmt.body, in_finally)
+            for handler in stmt.handlers:
+                self._collect(handler.body, in_finally)
+            self._collect(stmt.orelse, in_finally)
+            self._collect(stmt.finalbody, in_finally=True)
+            return
+        for field in ("body", "orelse"):
+            inner = getattr(stmt, field, None)
+            if inner:
+                self._collect(inner, in_finally)
+
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        if _is_shared_memory_call(value):
+            if isinstance(target, ast.Name):
+                self.handles.setdefault(target.id, value)
+            elif isinstance(target, ast.Attribute):
+                pass  # self._shm = SharedMemory(...): class-managed
+            else:
+                self.unbound.append(value)
+        elif _is_attach_call(value):
+            if isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+                last = target.elts[-1]
+                if isinstance(last, ast.Name):
+                    self.handles.setdefault(last.id, value)
+            # bound whole (pair = attach_words(...)) or to an attribute:
+            # the tuple owner is responsible; nothing to track by name.
+        else:
+            self._scan_value(value, bound=False)
+
+    def _scan_value(self, value: ast.AST, bound: bool) -> None:
+        """Find acquisition calls buried in an expression.
+
+        ``return SharedMemory(...)`` transfers ownership; a bare
+        ``SharedMemory(...).buf`` read leaks the handle.
+        """
+        for node in ast.walk(value):
+            if _is_shared_memory_call(node) and not bound:
+                self.unbound.append(node)
+
+    def _mark_escaped(self, value: ast.AST | None) -> None:
+        # Only a handle returned/yielded *itself* (possibly in a tuple)
+        # transfers ownership; `return bytes(shm.buf)` merely reads
+        # through the handle and still leaks it.
+        if value is None:
+            return
+        top_level = [value]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            top_level = list(value.elts)
+        for expr in top_level:
+            if isinstance(expr, ast.Starred):
+                expr = expr.value
+            if isinstance(expr, ast.Name):
+                self.escaped.add(expr.id)
+
+
+class SharedMemoryLifecycle(Rule):
+    """Flag ``SharedMemory`` handles that can leak on an exception path."""
+
+    id = "RL002"
+    name = "shared-memory lifecycle"
+    rationale = (
+        "a worker exception must not pin the parent's shared-memory "
+        "mapping; close() belongs in try/finally or a context manager"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Skip files that never touch shared memory (cheap pre-filter).
+        if "SharedMemory" not in ctx.source and not any(
+            helper in ctx.source for helper in _ATTACH_HELPERS
+        ):
+            return
+        scopes: list[list[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            facts = _FunctionFacts(body)
+            for call in facts.unbound:
+                yield ctx.finding(
+                    self,
+                    call,
+                    "SharedMemory handle is never bound to a name, so no "
+                    "path can close() it",
+                )
+            for name, acquisition in facts.handles.items():
+                if name in facts.closed_in_finally or name in facts.escaped:
+                    continue
+                yield ctx.finding(
+                    self,
+                    acquisition,
+                    f"shared-memory handle {name!r} is not closed in a "
+                    "try/finally (and is neither returned nor used as a "
+                    "context manager); an exception would pin the mapping",
+                )

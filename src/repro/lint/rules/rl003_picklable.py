@@ -1,0 +1,155 @@
+"""RL003 — process-pool targets must be picklable.
+
+``ProcessPoolExecutor.submit``/``map`` pickle the callable into the
+worker.  Lambdas, functions defined inside another function (closures),
+and ``self.method`` bound methods all fail that pickling — but only at
+*runtime*, on the first submit, often long after the code path was
+written (the parallel engine falls back to threads on small inputs, so
+the process path is easy to leave untested locally).  The rule tracks
+names bound to ``ProcessPoolExecutor(...)`` (assignments and
+``with ... as pool``) and flags submissions whose target is:
+
+* a ``lambda`` expression,
+* a ``self.``/``cls.``-bound method,
+* a function defined inside the submitting function (a closure).
+
+Module-level functions — the repo convention
+(:func:`repro.parallel.engine._mine_shard_shm`) — pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asttools import call_name
+from ..framework import FileContext, Finding, Rule
+
+__all__ = ["PicklableExecutorTargets"]
+
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+def _pool_bindings(tree: ast.AST) -> set[str]:
+    """Names bound to a ``ProcessPoolExecutor(...)`` anywhere in the file."""
+    pools: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            if _is_process_pool(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    _is_process_pool(item.context_expr)
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    pools.add(item.optional_vars.id)
+    return pools
+
+
+def _is_process_pool(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and call_name(node) == "ProcessPoolExecutor"
+    )
+
+
+class PicklableExecutorTargets(Rule):
+    """Flag unpicklable callables handed to a process pool."""
+
+    id = "RL003"
+    name = "picklable executor targets"
+    rationale = (
+        "lambdas/closures/bound methods break at pickling time on the "
+        "first process-pool submit, which local thread-pool fallbacks hide"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "ProcessPoolExecutor" not in ctx.source:
+            return
+        pools = _pool_bindings(ctx.tree)
+        if not pools:
+            return
+        # Map each function to the names of functions nested inside it,
+        # so closure targets can be recognised.
+        for scope in ast.walk(ctx.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = {
+                    inner.name
+                    for stmt in ast.walk(scope)
+                    for inner in [stmt]
+                    if isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and inner is not scope
+                }
+                yield from self._check_scope(ctx, scope, pools, nested)
+        yield from self._check_scope(ctx, ctx.tree, pools, set())
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        scope: ast.AST,
+        pools: set[str],
+        nested: set[str],
+    ) -> Iterator[Finding]:
+        for node in self._own_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SUBMIT_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in pools
+            ):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                yield ctx.finding(
+                    self,
+                    target,
+                    "lambda submitted to a process pool cannot be pickled; "
+                    "use a module-level function",
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            ):
+                yield ctx.finding(
+                    self,
+                    target,
+                    "bound method submitted to a process pool cannot be "
+                    "pickled; use a module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in nested:
+                yield ctx.finding(
+                    self,
+                    target,
+                    f"closure {target.id!r} submitted to a process pool "
+                    "cannot be pickled; move it to module level",
+                )
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes of ``scope`` excluding nested function/class bodies."""
+        stack: list[ast.AST] = (
+            list(scope.body)
+            if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            )
+            else [scope]
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scope: analysed on its own
+            yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,65 @@
+"""RL005 — library hygiene: no mutable default args, no bare ``except``.
+
+Scoped to the installable package (paths under ``src/``).  A mutable
+default is shared across every call of the function — state leaks
+between unrelated mining runs, which is fatal for a library meant to be
+driven concurrently.  A bare ``except:`` swallows ``KeyboardInterrupt``
+and ``SystemExit``, turning a user's Ctrl-C inside a long convolution
+sweep into a silently-retried loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..asttools import call_name, walk_functions
+from ..framework import FileContext, Finding, Rule
+
+__all__ = ["LibraryHygiene"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) and call_name(node) in _MUTABLE_CALLS
+
+
+class LibraryHygiene(Rule):
+    """Flag mutable default arguments and bare ``except`` in ``src/``."""
+
+    id = "RL005"
+    name = "library hygiene"
+    rationale = (
+        "mutable defaults leak state across concurrent mining runs; bare "
+        "except swallows KeyboardInterrupt/SystemExit"
+    )
+
+    def applies(self, path: str) -> bool:
+        return "src" in Path(path).parts
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for function in walk_functions(ctx.tree):
+            defaults = list(function.args.defaults) + [
+                d for d in function.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default argument in {function.name!r}; "
+                        "use None and construct inside the function",
+                    )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )

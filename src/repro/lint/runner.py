@@ -1,0 +1,143 @@
+"""File collection, rule execution, and the CLI of ``repro.lint``.
+
+``python -m repro.lint [paths]`` scans the given files/directories
+(default: ``src``), runs every registered rule, prints findings as
+``path:line:col: RULE message``, and exits non-zero when anything was
+found.  Markdown files in the scanned set feed the cross-file rules
+(engine-registry parity checks documentation too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from .framework import FileContext, Finding
+from .rules import FILE_RULES, PROJECT_RULES, all_rules
+
+__all__ = ["collect_files", "lint_paths", "lint_sources", "main"]
+
+#: directories never scanned, even when nested under a given path.
+_SKIP_DIRS = frozenset({
+    ".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs",
+})
+
+
+def collect_files(paths: Sequence[str | Path]) -> tuple[list[Path], list[Path]]:
+    """Expand paths into ``(python_files, markdown_files)``, sorted."""
+    python: set[Path] = set()
+    markdown: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in path.rglob("*"):
+                if any(part in _SKIP_DIRS for part in child.parts):
+                    continue
+                if child.suffix == ".py":
+                    python.add(child)
+                elif child.suffix == ".md":
+                    markdown.add(child)
+        elif path.suffix == ".py":
+            python.add(path)
+        elif path.suffix == ".md":
+            markdown.add(path)
+    return sorted(python), sorted(markdown)
+
+
+def _select(rule_id: str, selected: frozenset[str] | None) -> bool:
+    return selected is None or rule_id in selected
+
+
+def lint_sources(
+    contexts: list[FileContext],
+    docs: dict[str, str] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run every rule over already-parsed contexts (the library API)."""
+    selected = (
+        frozenset(r.upper() for r in select) if select is not None else None
+    )
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in FILE_RULES:
+            if _select(rule.id, selected):
+                findings.extend(rule.run(ctx))
+    for project_rule in PROJECT_RULES:
+        if _select(project_rule.id, selected):
+            findings.extend(project_rule.run_project(contexts, docs or {}))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Scan files/directories and return every finding, sorted."""
+    python_files, markdown_files = collect_files(paths)
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in python_files:
+        try:
+            contexts.append(FileContext.from_path(path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    rule="PARSE",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+    docs = {
+        str(path): path.read_text(encoding="utf-8")
+        for path in markdown_files
+    }
+    findings.extend(lint_sources(contexts, docs, select=select))
+    return sorted(findings)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.lint``; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analysis of this repository's own invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -29,6 +29,7 @@ key is ``(k, j mod p)``.
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
@@ -105,6 +106,13 @@ def _mine_shard_shm(
     words, shm = attach_words(shm_name, n_words)
     try:
         return _mine_shard(words, n, sigma, lo, hi, count_only)
+    except BaseException as error:
+        # The in-flight traceback pins the numpy view of the mapping
+        # through the raising frame's locals, so close() below would
+        # fail with BufferError (masking the worker's real error) and
+        # leak the attachment; drop those frame locals first.
+        traceback.clear_frames(error.__traceback__)
+        raise
     finally:
         del words
         shm.close()
@@ -123,7 +131,7 @@ class ParallelWitnessEngine:
         input is large enough to amortise the pool.
     """
 
-    def __init__(self, workers: int | None = None, mode: str = "auto"):
+    def __init__(self, workers: int | None = None, mode: str = "auto") -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if mode not in ("auto", "process", "thread"):

@@ -34,7 +34,7 @@ class SharedWords:
 
     __slots__ = ("_shm", "n_words")
 
-    def __init__(self, words: np.ndarray):
+    def __init__(self, words: np.ndarray) -> None:
         words = np.ascontiguousarray(words, dtype=np.uint64)
         self.n_words = int(words.size)
         self._shm = shared_memory.SharedMemory(
@@ -61,7 +61,7 @@ class SharedWords:
     def __enter__(self) -> "SharedWords":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -79,5 +79,11 @@ def attach_words(name: str, n_words: int) -> tuple[np.ndarray, shared_memory.Sha
         # parent, so the duplicate registration deduplicates to a no-op
         # and the parent's unlink stays the single cleanup point.
         shm = shared_memory.SharedMemory(name=name)
-    words = np.frombuffer(shm.buf, dtype=np.uint64, count=n_words)
+    try:
+        words = np.frombuffer(shm.buf, dtype=np.uint64, count=n_words)
+    except BaseException:
+        # A failed view (e.g. a truncated segment) must not leak the
+        # just-attached mapping in the worker.
+        shm.close()
+        raise
     return words, shm

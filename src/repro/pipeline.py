@@ -116,7 +116,7 @@ class PeriodicityPipeline:
         anomaly_threshold: float | None = 0.6,
         engine: str = "bitand",
         workers: int | None = None,
-    ):
+    ) -> None:
         if not 0 < psi <= 1:
             raise ValueError("psi must lie in (0, 1]")
         self._discretizer = QuantileDiscretizer() if discretizer is None else discretizer

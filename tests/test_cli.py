@@ -83,6 +83,32 @@ class TestMine:
                  "--engine", "quantum"]
             )
 
+    def test_engine_choices_derive_from_registry(self):
+        """--engine choices ARE the ENGINES registry (lint RL004's
+        single source of truth), not a hand-copied list."""
+        from repro.core import ENGINES
+
+        mine_parser = None
+        for action in build_parser()._subparsers._group_actions:
+            mine_parser = action.choices.get("mine")
+            if mine_parser is not None:
+                break
+        assert mine_parser is not None
+        engine_action = next(
+            a for a in mine_parser._actions if "--engine" in a.option_strings
+        )
+        assert tuple(engine_action.choices) == ENGINES
+        assert engine_action.default in ENGINES
+
+    def test_engine_alias_exported(self):
+        import repro
+        from repro.core.convolution_miner import Engine
+
+        assert repro.Engine is Engine
+        assert set(repro.ENGINES) == {
+            "bitand", "kronecker", "wordarray", "parallel"
+        }
+
 
 class TestPeriods:
     def test_lists_candidates(self, series_file, capsys):

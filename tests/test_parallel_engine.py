@@ -251,6 +251,49 @@ class TestTransport:
         with pytest.raises(FileNotFoundError):
             attach_words(name, 4)
 
+    def test_raising_worker_still_closes_attachment(self, monkeypatch):
+        """Regression (lint RL002): a worker whose shard computation
+        raises must still release its shared-memory attachment, or the
+        parent's unlink leaks the segment until process exit."""
+        from repro.parallel import engine as engine_module
+
+        closed = []
+
+        def tracking_attach(name, n_words):
+            words, shm = attach_words(name, n_words)
+            original_close = shm.close
+
+            def close():
+                closed.append(name)
+                original_close()
+
+            shm.close = close
+            return words, shm
+
+        def exploding_shard(*args, **kwargs):
+            raise RuntimeError("worker blew up")
+
+        monkeypatch.setattr(engine_module, "attach_words", tracking_attach)
+        monkeypatch.setattr(engine_module, "_mine_shard", exploding_shard)
+        words = np.ones(8, dtype=np.uint64)
+        with SharedWords(words) as shared:
+            with pytest.raises(RuntimeError, match="worker blew up"):
+                engine_module._mine_shard_shm(
+                    shared.name, shared.n_words, 8, 1, 1, 4, count_only=False
+                )
+            assert closed == [shared.name]
+
+    def test_failed_attach_view_does_not_pin_segment(self):
+        """A truncated segment must not leak the just-attached handle
+        (attach_words closes on a failed ``np.frombuffer``)."""
+        with SharedWords(np.ones(2, dtype=np.uint64)) as shared:
+            with pytest.raises(ValueError):
+                # Ask for more words than the segment holds.
+                attach_words(shared.name, shared.n_words + 64)
+        # The parent's unlink must now be effective: nothing pinned it.
+        with pytest.raises(FileNotFoundError):
+            attach_words(shared.name, 2)
+
 
 class TestErrorMessages:
     def test_kronecker_refusal_states_product_and_limit(self, rng):
