@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint typecheck bench bench-regress examples experiments clean
+.PHONY: install test lint typecheck bench bench-regress bench-stream examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,11 @@ bench:
 # BENCH_PR1.json so later PRs can diff wall-clock against this one.
 bench-regress:
 	PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_PR1.json
+
+# Streaming-layer trajectory: chunked vs per-symbol ingestion for the
+# online and sliding-window miners, written to BENCH_PR3.json.
+bench-stream:
+	PYTHONPATH=src python benchmarks/bench_streaming_regress.py --out BENCH_PR3.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

@@ -1,7 +1,8 @@
 """Streaming-layer performance: online, sliding-window, out-of-core.
 
 Not a paper artifact — operational benchmarks for the streaming
-extensions, so regressions in the per-symbol update paths are caught.
+extensions, so regressions in the chunked ingestion paths are caught
+(`bench_streaming_regress.py` covers chunked-vs-per-symbol speedup).
 Each bench also re-asserts the layer's defining equivalence, because a
 fast wrong answer is worse than none.
 """

@@ -26,6 +26,7 @@ STRICT_TARGETS = [
     "src/repro/core",
     "src/repro/convolution",
     "src/repro/parallel",
+    "src/repro/streaming",
     "src/repro/lint",
     "src/repro/pipeline.py",
     "src/repro/cli.py",

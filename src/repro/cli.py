@@ -6,6 +6,8 @@ Installed as the ``repro`` console script (also ``python -m repro``):
   from a one-character-per-symbol text file;
 * ``repro periods SERIES.txt --psi 0.5 [--significant]`` — list the
   candidate periods (optionally filtered by the binomial null test);
+* ``repro stream SERIES.txt --psi 0.6 [--window W] [--chunk-size C]`` —
+  mine through the chunked streaming layer (online or sliding-window);
 * ``repro generate {synthetic,power,retail,eventlog} --out FILE`` —
   write workload files with the paper's generators;
 * ``repro experiment {fig3,fig4,fig5,fig6,table1,table2,table3}`` —
@@ -105,6 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="power/retail length in days")
     generate_cmd.add_argument("--dst", action="store_true",
                               help="retail: apply the daylight-saving shift")
+
+    stream_cmd = commands.add_parser(
+        "stream",
+        help="mine a symbol file through the chunked streaming layer",
+    )
+    stream_cmd.add_argument("series", type=Path)
+    stream_cmd.add_argument("--psi", type=float, required=True,
+                            help="periodicity threshold in (0, 1]")
+    stream_cmd.add_argument("--alphabet", default=None,
+                            help="symbol order; when given, the file is "
+                                 "streamed block-by-block without ever "
+                                 "loading it whole")
+    stream_cmd.add_argument("--max-period", type=int, default=128,
+                            help="largest period maintained (default 128)")
+    stream_cmd.add_argument("--window", type=int, default=None,
+                            help="sliding-window length; omit for "
+                                 "whole-stream online mining")
+    stream_cmd.add_argument("--chunk-size", type=int, default=None,
+                            help="ingestion block size (default: the "
+                                 "miners' built-in chunk size)")
+    stream_cmd.add_argument("--top", type=int, default=20,
+                            help="periodicities to print (by support)")
 
     forecast_cmd = commands.add_parser(
         "forecast", help="predict upcoming symbols from mined periodicity"
@@ -221,6 +245,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .streaming import DEFAULT_CHUNK_SIZE, ChunkedReader, OnlineMiner, SlidingWindowMiner
+
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise SystemExit("error: --chunk-size must be positive")
+    if args.alphabet:
+        # True one-pass mode: never hold more than a block in memory.
+        alphabet = Alphabet(args.alphabet)
+        reader = ChunkedReader(args.series, alphabet=alphabet,
+                               block_size=chunk_size)
+    else:
+        series = _load_series(args.series, None)
+        alphabet = series.alphabet
+        reader = ChunkedReader(series, block_size=chunk_size)
+    if args.window is not None:
+        miner: OnlineMiner | SlidingWindowMiner = SlidingWindowMiner(
+            alphabet, max_period=args.max_period, window=args.window,
+            chunk_size=chunk_size,
+        )
+    else:
+        miner = OnlineMiner(
+            alphabet, max_period=args.max_period, chunk_size=chunk_size
+        )
+    try:
+        fed = reader.feed_into(miner)
+    except KeyError as error:
+        raise SystemExit(f"error: symbol {error} not in the given alphabet")
+    scope = (
+        f"window of last {miner.size}" if isinstance(miner, SlidingWindowMiner)
+        else "whole stream"
+    )
+    print(
+        f"streamed {fed} symbols (sigma={len(alphabet)}, "
+        f"chunk={chunk_size}); evidence over the {scope}"
+    )
+    hits = miner.periodicities(args.psi)
+    hits.sort(key=lambda h: -h.support)
+    print(f"periodicities at psi={args.psi:.2f}: {len(hits)}")
+    for hit in hits[: args.top]:
+        print(
+            f"  period {hit.period:>5}  pos {hit.position:>5}  "
+            f"symbol {alphabet.symbol(hit.symbol_code)!r}  "
+            f"support {hit.support:.3f}"
+        )
+    return 0
+
+
 def _cmd_forecast(args: argparse.Namespace) -> int:
     from .analysis.forecast import PeriodicForecaster, evaluate_forecaster
 
@@ -310,6 +382,7 @@ _HANDLERS = {
     "mine": _cmd_mine,
     "periods": _cmd_periods,
     "generate": _cmd_generate,
+    "stream": _cmd_stream,
     "forecast": _cmd_forecast,
     "experiment": _cmd_experiment,
 }

@@ -15,17 +15,54 @@ counts per ``(period, symbol, position)`` — produced by either mining
 algorithm, and answers the threshold queries the rest of the pipeline
 needs.  Both the faithful big-integer miner and the scalable spectral
 miner emit this exact structure, which is what makes them interchangeable.
+
+The module also defines the *dense layout* used by the streaming layer:
+every ``(period, symbol, position)`` triple up to a period cap flattened
+into one contiguous array, so evidence can be scatter-added with
+``np.bincount`` instead of nested dict updates.  Period ``p``'s block
+starts at ``dense_offsets(sigma, cap)[p]`` and holds ``sigma * p``
+counters ordered ``code * p + position``;
+:meth:`PeriodicityTable.from_dense` converts such an array back into a
+table in one vectorised pass.
 """
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Iterator, Mapping
 from dataclasses import dataclass
-from typing import Hashable, Iterator, Mapping
+
+import numpy as np
 
 from .alphabet import Alphabet
 from .projection import projection_pairs
 
-__all__ = ["SymbolPeriodicity", "PeriodicityTable"]
+__all__ = [
+    "SymbolPeriodicity",
+    "PeriodicityTable",
+    "dense_offsets",
+    "dense_size",
+]
+
+
+def dense_offsets(sigma: int, max_period: int) -> np.ndarray:
+    """Block start of each period in the dense ``F2`` layout.
+
+    Entry ``p`` (for ``1 <= p <= max_period``) is the flat index where
+    period ``p``'s ``sigma * p`` counters begin; entry ``0`` is unused
+    and zero.  The counter of ``(p, code, position)`` lives at
+    ``offsets[p] + code * p + position``.
+    """
+    if sigma < 1 or max_period < 1:
+        raise ValueError("sigma and max_period must be >= 1")
+    periods = np.arange(max_period + 1, dtype=np.int64)
+    return sigma * periods * (periods - 1) // 2
+
+
+def dense_size(sigma: int, max_period: int) -> int:
+    """Total number of counters in the dense layout."""
+    if sigma < 1 or max_period < 1:
+        raise ValueError("sigma and max_period must be >= 1")
+    return sigma * max_period * (max_period + 1) // 2
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -88,6 +125,46 @@ class PeriodicityTable:
             int(p): {k: int(v) for k, v in table.items() if v}
             for p, table in counts.items()
         }
+
+    @classmethod
+    def from_dense(
+        cls,
+        n: int,
+        alphabet: Alphabet,
+        dense: np.ndarray,
+        max_period: int,
+    ) -> "PeriodicityTable":
+        """Build a table from a dense flattened count array.
+
+        ``dense`` must follow the layout of :func:`dense_offsets` for
+        ``sigma = len(alphabet)`` and the given ``max_period``.  Only
+        non-zero counters are materialised; the conversion is one
+        vectorised pass per period, so snapshots stay cheap even when
+        the dense store is large.
+        """
+        sigma = len(alphabet)
+        offsets = dense_offsets(sigma, max_period)
+        if dense.shape != (dense_size(sigma, max_period),):
+            raise ValueError("dense array does not match the layout")
+        counts: dict[int, dict[tuple[int, int], int]] = {}
+        for p in range(1, max_period + 1):
+            start = int(offsets[p])
+            block = dense[start : start + sigma * p]
+            nonzero = np.nonzero(block)[0]
+            if nonzero.size == 0:
+                continue
+            codes = (nonzero // p).tolist()
+            positions = (nonzero % p).tolist()
+            values = block[nonzero].tolist()
+            counts[p] = {
+                (code, position): value
+                for code, position, value in zip(codes, positions, values)
+            }
+        table = cls.__new__(cls)
+        table._n = int(n)
+        table._alphabet = alphabet
+        table._counts = counts
+        return table
 
     # -- raw access ----------------------------------------------------------
 

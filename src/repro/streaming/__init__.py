@@ -1,19 +1,26 @@
 """Streaming substrate: one-pass readers and incremental miners.
 
 * :class:`ChunkedReader` — block-wise, single-pass access to series on
-  disk or in memory;
+  disk or in memory (:meth:`~ChunkedReader.feed_into` pipes blocks
+  straight into any miner);
 * :class:`OnlineMiner` — incremental evidence over the whole stream;
 * :class:`SlidingWindowMiner` — incremental evidence over the last
-  ``window`` symbols (monitoring mode).
+  ``window`` symbols (monitoring mode);
+* :class:`DenseCountStore` — the flat scatter-add evidence store behind
+  both miners' vectorised chunked ingestion.
 """
 
-from .reader import ChunkedReader, write_symbol_file
-from .online import OnlineMiner
+from .counts import DenseCountStore
+from .reader import ChunkedReader, CodeSink, write_symbol_file
+from .online import DEFAULT_CHUNK_SIZE, OnlineMiner
 from .window import SlidingWindowMiner
 from .monitor import DriftEvent, PeriodicityMonitor
 
 __all__ = [
     "ChunkedReader",
+    "CodeSink",
+    "DenseCountStore",
+    "DEFAULT_CHUNK_SIZE",
     "write_symbol_file",
     "OnlineMiner",
     "SlidingWindowMiner",

@@ -8,10 +8,13 @@ rhythm broke" pager for the paper's data-stream setting.
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
-from typing import Hashable
+
+import numpy as np
 
 from ..core.alphabet import Alphabet
+from .online import as_code_array, check_code_range
 from .window import SlidingWindowMiner
 
 __all__ = ["DriftEvent", "PeriodicityMonitor"]
@@ -56,7 +59,7 @@ class PeriodicityMonitor:
         floor: float = 0.5,
         patience: int = 3,
         check_every: int | None = None,
-    ):
+    ) -> None:
         if period < 1:
             raise ValueError("period must be >= 1")
         if not 0 < floor <= 1:
@@ -104,11 +107,26 @@ class PeriodicityMonitor:
         self._miner.append_code(code)
         return self._check()
 
-    def extend_codes(self, codes) -> list[DriftEvent]:
-        """Consume many codes; returns every alarm fired along the way."""
-        fired = []
-        for code in codes:
-            event = self.append_code(int(code))
+    def extend_codes(self, codes: Iterable[int] | np.ndarray) -> list[DriftEvent]:
+        """Consume many codes; returns every alarm fired along the way.
+
+        Chunked fast path: confidence checks only ever happen at stream
+        positions that are multiples of ``check_every``, so the codes
+        are fed to the sliding-window miner in vectorised sub-chunks
+        that end exactly on those boundaries and the check runs between
+        them — the fired :class:`DriftEvent` sequence is identical to
+        per-symbol feeding.
+        """
+        block = as_code_array(codes)
+        check_code_range(block, len(self._miner.alphabet))
+        fired: list[DriftEvent] = []
+        consumed = 0
+        while consumed < block.size:
+            boundary = (self._miner.n // self._check_every + 1) * self._check_every
+            upto = min(block.size, consumed + boundary - self._miner.n)
+            self._miner.extend_codes(block[consumed:upto])
+            consumed = upto
+            event = self._check()
             if event is not None:
                 fired.append(event)
         return fired

@@ -4,30 +4,57 @@ The paper targets environments "(e.g., data streams)" that cannot abide
 multiple passes; its own reference [4] extends the authors' work to
 incremental and online mining.  This module provides that extension: an
 :class:`OnlineMiner` maintains the complete ``F2`` evidence for every
-period up to ``max_period`` while symbols arrive one at a time.
+period up to ``max_period`` while symbols arrive one at a time or — the
+fast path — in chunks.
 
-Appending symbol ``t_j`` creates exactly the match pairs
-``(j - p, j)`` with ``t_{j-p} = t_j`` for ``p <= max_period``, so one
-vectorised comparison of the arrival against a ring buffer of the last
-``max_period`` symbols updates the evidence in ``O(max_period)`` — no
-re-scan, no second pass.  At any moment :meth:`table` yields a
+Appending symbol ``t_j`` creates exactly the match pairs ``(j - p, j)``
+with ``t_{j-p} = t_j`` for ``p <= max_period``, so a chunk of ``m``
+arrivals creates exactly the pairs of one ``(m, max_period)`` lag-sweep
+comparison against the ring buffer of the last ``max_period`` symbols;
+the matches are scatter-added into a dense
+:class:`~repro.streaming.counts.DenseCountStore` in a handful of numpy
+calls — no re-scan, no second pass, no per-symbol interpreter work.  At
+any moment :meth:`table` yields a
 :class:`~repro.core.periodicity.PeriodicityTable` identical (up to the
 period cap) to what the batch miners produce on the prefix seen so far;
-the test suite asserts that equivalence.
+the test suite asserts that equivalence bit-for-bit, for every chunking.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from typing import Hashable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
 from ..core.alphabet import Alphabet
 from ..core.periodicity import PeriodicityTable, SymbolPeriodicity
 from ..core.sequence import SymbolSequence
+from .counts import DenseCountStore
 
-__all__ = ["OnlineMiner"]
+__all__ = ["OnlineMiner", "DEFAULT_CHUNK_SIZE"]
+
+#: ingestion block size: large enough to amortize the numpy call
+#: overhead, small enough that the (chunk, max_period) lag-sweep mask
+#: stays cache-resident.
+DEFAULT_CHUNK_SIZE = 2048
+
+
+def as_code_array(codes: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Coerce any code source into a contiguous ``int64`` array."""
+    if isinstance(codes, np.ndarray):
+        return np.ascontiguousarray(codes, dtype=np.int64)
+    return np.asarray(list(codes), dtype=np.int64)
+
+
+def check_code_range(codes: np.ndarray, sigma: int) -> None:
+    """Reject any code outside ``0 .. sigma - 1`` (one vectorised scan)."""
+    if codes.size == 0:
+        return
+    low = int(codes.min())
+    high = int(codes.max())
+    if low < 0 or high >= sigma:
+        bad = low if low < 0 else high
+        raise ValueError(f"code {bad} out of range")
 
 
 class OnlineMiner:
@@ -39,18 +66,31 @@ class OnlineMiner:
         Alphabet of the stream.
     max_period:
         Largest period maintained.  Memory is ``O(max_period)`` for the
-        ring buffer plus one counter per *observed* ``(p, symbol,
-        position)`` triple.
+        ring buffer plus the dense count store
+        (``sigma * max_period^2 / 2`` counters).
+    chunk_size:
+        Internal ingestion block: :meth:`extend_codes` processes at most
+        this many arrivals per vectorised sweep.  Purely a
+        performance/memory knob — every chunking produces bit-identical
+        evidence.
     """
 
-    def __init__(self, alphabet: Alphabet, max_period: int):
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        max_period: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
         if max_period < 1:
             raise ValueError("max_period must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self._alphabet = alphabet
         self._max_period = max_period
+        self._chunk_size = chunk_size
         self._ring = np.full(max_period, -1, dtype=np.int64)
         self._n = 0
-        self._counts: dict[int, dict[tuple[int, int], int]] = {}
+        self._store = DenseCountStore(len(alphabet), max_period)
 
     # -- feeding the stream -------------------------------------------------------
 
@@ -69,40 +109,35 @@ class OnlineMiner:
         """Alphabet of the stream."""
         return self._alphabet
 
+    @property
+    def chunk_size(self) -> int:
+        """Internal ingestion block size."""
+        return self._chunk_size
+
     def append(self, symbol: Hashable) -> None:
         """Consume one symbol."""
         self.append_code(self._alphabet.code(symbol))
 
     def append_code(self, code: int) -> None:
-        """Consume one symbol given as an integer code."""
-        if not 0 <= code < len(self._alphabet):
-            raise ValueError(f"code {code} out of range")
-        j = self._n
-        window = min(self._max_period, j)
-        if window:
-            # Ring slot of position i is i % max_period; gather the last
-            # `window` positions j-1 .. j-window and compare in one shot.
-            lags = np.arange(1, window + 1)
-            slots = (j - lags) % self._max_period
-            matching = lags[self._ring[slots] == code]
-            for p in matching:
-                p = int(p)
-                earlier = j - p
-                key = (code, earlier % p)
-                table = self._counts.setdefault(p, {})
-                table[key] = table.get(key, 0) + 1
-        self._ring[j % self._max_period] = code
-        self._n += 1
+        """Consume one symbol given as an integer code.
+
+        Compatibility wrapper over the chunked path: a one-element
+        chunk goes through the same vectorised kernel.
+        """
+        self.extend_codes(np.array([code], dtype=np.int64))
 
     def extend(self, symbols: Iterable[Hashable]) -> None:
         """Consume many symbols."""
-        for symbol in symbols:
-            self.append(symbol)
+        encode = self._alphabet.code
+        self.extend_codes(np.asarray([encode(s) for s in symbols], dtype=np.int64))
 
     def extend_codes(self, codes: Iterable[int] | np.ndarray) -> None:
-        """Consume many symbols given as codes."""
-        for code in np.asarray(list(codes) if not isinstance(codes, np.ndarray) else codes, dtype=np.int64):
-            self.append_code(int(code))
+        """Consume many symbols given as codes — the vectorised fast path."""
+        block = as_code_array(codes)
+        check_code_range(block, len(self._alphabet))
+        step = self._chunk_size
+        for start in range(0, block.size, step):
+            self._ingest(block[start : start + step])
 
     def consume(self, series: SymbolSequence) -> None:
         """Consume a whole series (must share this miner's alphabet)."""
@@ -110,23 +145,40 @@ class OnlineMiner:
             raise ValueError("series alphabet differs from the stream alphabet")
         self.extend_codes(series.codes)
 
+    def _ingest(self, chunk: np.ndarray) -> None:
+        """One vectorised sweep: count every pair the chunk creates."""
+        first = self._n
+        cap = self._max_period
+        depth = min(cap, first)
+        if depth:
+            # Ring slot of position i is i % max_period; gather the
+            # `depth` positions preceding the chunk in stream order.
+            slots = (first - depth + np.arange(depth)) % cap
+            history = self._ring[slots]
+        else:
+            history = np.empty(0, dtype=np.int64)
+        self._store.add(self._store.arrival_keys(history, chunk, first))
+        tail = chunk[-min(chunk.size, cap) :]
+        positions = np.arange(first + chunk.size - tail.size, first + chunk.size)
+        self._ring[positions % cap] = tail
+        self._n += chunk.size
+
     # -- querying the current state -------------------------------------------------
 
     def table(self) -> PeriodicityTable:
         """Snapshot of the evidence as a standard periodicity table."""
-        return PeriodicityTable(
-            self._n,
-            self._alphabet,
-            {p: dict(t) for p, t in self._counts.items()},
-        )
+        return self._store.table(self._n, self._alphabet)
 
     def confidence(self, period: int) -> float:
-        """Best current support of any symbol periodicity at ``period``."""
+        """Best current support of any symbol periodicity at ``period``.
+
+        Reads the live dense counters — no table snapshot, no copies.
+        """
         if period > self._max_period:
             raise ValueError(
                 f"period {period} exceeds the maintained cap {self._max_period}"
             )
-        return self.table().confidence(period)
+        return self._store.confidence(self._n, period)
 
     def periodicities(self, psi: float) -> list[SymbolPeriodicity]:
         """Current symbol periodicities with support ``>= psi``."""

@@ -14,13 +14,27 @@ from __future__ import annotations
 import os
 from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import Protocol
 
 import numpy as np
 
 from ..core.alphabet import Alphabet
 from ..core.sequence import SymbolSequence
 
-__all__ = ["ChunkedReader", "write_symbol_file"]
+__all__ = ["ChunkedReader", "CodeSink", "write_symbol_file"]
+
+
+class CodeSink(Protocol):
+    """Anything that ingests code blocks: miners, monitors, ...
+
+    Satisfied structurally by :class:`~repro.streaming.online.OnlineMiner`,
+    :class:`~repro.streaming.window.SlidingWindowMiner`, and
+    :class:`~repro.streaming.monitor.PeriodicityMonitor`.
+    """
+
+    def extend_codes(self, codes: Iterable[int] | np.ndarray) -> object:
+        """Consume one block of integer codes."""
+        ...
 
 
 def write_symbol_file(series: SymbolSequence, path: str | os.PathLike) -> Path:
@@ -59,7 +73,7 @@ class ChunkedReader:
         source: SymbolSequence | str | os.PathLike | Iterable,
         alphabet: Alphabet | None = None,
         block_size: int = 1 << 16,
-    ):
+    ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if isinstance(source, SymbolSequence):
@@ -109,6 +123,20 @@ class ChunkedReader:
                 buffer = []
         if buffer:
             yield np.array(encode(buffer), dtype=np.int64)
+
+    def feed_into(self, sink: CodeSink) -> int:
+        """Stream every block straight into a miner or monitor.
+
+        One pass over the source, one vectorised ``extend_codes`` call
+        per block — the chunked-ingestion fast path end to end, with no
+        per-symbol interpreter work in between.  Returns the number of
+        symbols fed.
+        """
+        total = 0
+        for block in self:
+            sink.extend_codes(block)
+            total += block.size
+        return total
 
     def materialize(self) -> SymbolSequence:
         """Concatenate every block into an in-memory series."""

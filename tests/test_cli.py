@@ -129,6 +129,43 @@ class TestPeriods:
         assert filtered_count <= raw_count
 
 
+class TestStream:
+    def test_online_mining(self, series_file, capsys):
+        code = main(["stream", str(series_file), "--psi", "0.8",
+                     "--max-period", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streamed 600 symbols" in out
+        assert "whole stream" in out
+        assert "period    12" in out
+
+    def test_sliding_window(self, series_file, capsys):
+        code = main(["stream", str(series_file), "--psi", "0.8",
+                     "--max-period", "20", "--window", "120",
+                     "--chunk-size", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "window of last 120" in out
+        assert "chunk=64" in out
+
+    def test_streaming_with_explicit_alphabet(self, series_file, capsys):
+        code = main(["stream", str(series_file), "--psi", "0.8",
+                     "--alphabet", "abcde", "--max-period", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sigma=5" in out
+
+    def test_symbol_outside_alphabet_fails(self, series_file):
+        with pytest.raises(SystemExit):
+            main(["stream", str(series_file), "--psi", "0.5",
+                  "--alphabet", "ab"])
+
+    def test_rejects_bad_chunk_size(self, series_file):
+        with pytest.raises(SystemExit):
+            main(["stream", str(series_file), "--psi", "0.5",
+                  "--chunk-size", "-3"])
+
+
 class TestGenerate:
     @pytest.mark.parametrize(
         "workload,extra",
