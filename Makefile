@@ -1,12 +1,22 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint typecheck bench bench-regress bench-stream examples experiments clean
+.PHONY: install test test-fast coverage lint typecheck bench bench-regress bench-stream examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# The quick loop: everything except @pytest.mark.slow (property sweeps,
+# fuzzing, experiment end-to-ends).  Target budget: ~30s.
+test-fast:
+	pytest tests/ -m "not slow"
+
+# Full suite under coverage.py with the CI line floor; needs the dev
+# extras (pip install -e .[dev]) for pytest-cov.
+coverage:
+	pytest tests/ --cov=repro --cov-report=term --cov-report=xml --cov-fail-under=85
 
 # Custom AST invariant analyzers (RL001-RL005) over code and docs.
 lint:

@@ -25,6 +25,7 @@ import numpy as np
 from .analysis.significance import significant_periods
 from .core import ENGINES, Alphabet, SymbolSequence, mine
 from .core.spectral_miner import SpectralMiner
+from .parallel import FAULT_POLICIES
 from .data import (
     EventLogSimulator,
     PowerConsumptionSimulator,
@@ -61,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("--workers", type=int, default=None,
                           help="worker cap for --engine parallel "
                                "(default: CPU count)")
+    mine_cmd.add_argument("--shard-timeout", type=float, default=None,
+                          help="--engine parallel: seconds before a hung "
+                               "shard is re-dispatched (default: no limit)")
+    mine_cmd.add_argument("--max-retries", type=int, default=2,
+                          help="--engine parallel: re-dispatches granted to "
+                               "a failing shard per backend")
+    mine_cmd.add_argument("--on-fault",
+                          choices=FAULT_POLICIES,
+                          default="fallback",
+                          help="--engine parallel: fallback = degrade "
+                               "process -> thread -> serial and always "
+                               "complete; raise = abort the run")
     mine_cmd.add_argument("--max-period", type=int, default=None)
     mine_cmd.add_argument("--periods", default=None,
                           help="comma-separated periods to mine patterns at")
@@ -182,6 +195,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         max_arity=args.max_arity,
         engine=args.engine,
         workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+        on_fault=args.on_fault,
     )
     print(f"series: n={series.length}, sigma={series.sigma}")
     print(result.render(limit=args.top))

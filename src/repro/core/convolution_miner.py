@@ -45,7 +45,14 @@ Two exact engines compute step 2:
     shared memory, contiguous period shards run concurrently, and
     ``periodicity_table`` takes a **count-only fast path** that sums
     witness bits per ``(symbol, position)`` residue class instead of
-    decoding positions.  The ``workers=`` knob caps the pool.
+    decoding positions.  The ``workers=`` knob caps the pool.  The
+    engine is fault-tolerant: hung shards trip ``shard_timeout``,
+    failed shards are re-dispatched up to ``max_retries`` times with
+    exponential backoff, and under ``on_fault="fallback"`` (default)
+    the run degrades ``process -> thread -> serial`` rather than
+    abort, so the result is always identical to the serial engines;
+    ``on_fault="raise"`` aborts instead.  Recovery is recorded in
+    ``fault_events``.
 
 All engines produce bit-for-bit identical witness sets (property-tested
 against each other and against the quadratic reference).  For large
@@ -66,6 +73,7 @@ from ..convolution.bigint import (
     weighted_convolution_witnesses,
 )
 from ..convolution.bitops import pack_positions, shifted_self_and
+from ..faults import FallbackEvent, FaultEvent, FaultPlan
 from ..parallel import ParallelWitnessEngine
 from .mapping import binary_vector, binary_vector_bits, witnesses_to_f2_table
 from .periodicity import PeriodicityTable
@@ -103,6 +111,24 @@ class ConvolutionMiner:
     workers:
         Worker cap for the ``"parallel"`` engine (default: CPU count);
         ignored by the serial engines.
+    shard_timeout:
+        ``"parallel"`` only: seconds to wait for one shard before
+        treating it as hung and re-dispatching (``None``: no limit).
+    max_retries:
+        ``"parallel"`` only: re-dispatches granted to a failing shard
+        per backend (default 2).
+    retry_backoff:
+        ``"parallel"`` only: base of the exponential backoff between
+        re-dispatches, in seconds.
+    on_fault:
+        ``"parallel"`` only: ``"fallback"`` (default) degrades
+        ``process -> thread -> serial`` and always completes with a
+        table identical to the serial engines; ``"raise"`` aborts with
+        :class:`repro.parallel.ShardFailure`.
+    fault_plan:
+        ``"parallel"`` only: a deterministic
+        :class:`repro.faults.FaultPlan` injected into workers (for
+        tests and chaos drills; leave ``None`` in production).
     """
 
     def __init__(
@@ -110,6 +136,12 @@ class ConvolutionMiner:
         engine: Engine = "bitand",
         max_period: int | None = None,
         workers: int | None = None,
+        *,
+        shard_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.01,
+        on_fault: str = "fallback",
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
@@ -118,6 +150,20 @@ class ConvolutionMiner:
         self._engine = engine
         self._max_period = max_period
         self._workers = workers
+        # Constructed eagerly so bad knob values fail at miner
+        # construction, not mid-mine; the engine is stateless until run.
+        self._parallel: ParallelWitnessEngine | None = (
+            ParallelWitnessEngine(
+                workers=workers,
+                shard_timeout=shard_timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                on_fault=on_fault,
+                fault_plan=fault_plan,
+            )
+            if engine == "parallel"
+            else None
+        )
 
     # -- public API ------------------------------------------------------------
 
@@ -174,6 +220,17 @@ class ConvolutionMiner:
             series.length, series.alphabet, self.f2_tables(series)
         )
 
+    @property
+    def fault_events(self) -> tuple[FaultEvent | FallbackEvent, ...]:
+        """Faults survived and fallbacks taken by the last parallel run.
+
+        Empty for the serial engines, and for parallel runs that hit no
+        faults (the overwhelmingly common case).
+        """
+        if self._parallel is None:
+            return ()
+        return self._parallel.events
+
     # -- engines ---------------------------------------------------------------
 
     def _resolve_max_period(self, n: int) -> int:
@@ -202,7 +259,8 @@ class ConvolutionMiner:
         return pack_positions(total - 1 - binary_vector_bits(series), total)
 
     def _parallel_engine(self) -> ParallelWitnessEngine:
-        return ParallelWitnessEngine(workers=self._workers)
+        assert self._parallel is not None  # guarded by engine == "parallel"
+        return self._parallel
 
     def _wordarray_witnesses(
         self, series: SymbolSequence, max_period: int

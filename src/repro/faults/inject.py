@@ -1,0 +1,136 @@
+"""Runtime delivery of planned faults inside shard workers.
+
+These helpers are called from the parallel engine's worker functions
+at the named injection sites.  They are no-ops when ``plan`` is
+``None`` (the production configuration), so the hot path pays one
+``is None`` test per site and nothing else.
+
+Exceptions defined here carry their context in ``args`` only, which
+keeps them picklable across the process-pool result channel (exception
+instances are rebuilt in the parent by calling ``type(*args)``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from .plan import (
+    RESULT_POISON,
+    SHARD_TIMEOUT,
+    WORKER_EXIT,
+    FaultPlan,
+)
+
+__all__ = [
+    "FaultInjected",
+    "PoisonedShard",
+    "fire",
+    "hang",
+    "poison",
+]
+
+#: exit status of a hard-killed worker; distinctive in core dumps/logs.
+_EXIT_STATUS = 113
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired in a worker.
+
+    Constructed as ``FaultInjected(site, shard, attempt)`` so the
+    instance survives pickling between worker and parent.
+    """
+
+    @property
+    def site(self) -> str:
+        """The injection site that fired."""
+        return str(self.args[0])
+
+    @property
+    def shard(self) -> int:
+        """Index of the shard the fault hit."""
+        return int(self.args[1])
+
+    @property
+    def attempt(self) -> int:
+        """Dispatch attempt (0 = first try) the fault hit."""
+        return int(self.args[2])
+
+    def __str__(self) -> str:
+        return (
+            f"injected {self.args[0]} at shard {self.args[1]} "
+            f"(attempt {self.args[2]})"
+        )
+
+
+class PoisonedShard(RuntimeError):
+    """A shard result failed the parent's integrity check.
+
+    Raised in the *parent*, not the worker — poisoned results come back
+    through the normal result channel and are caught by validation.
+    Constructed as ``PoisonedShard(shard, lo, hi)``.
+    """
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.args[0]} returned a corrupted result for "
+            f"periods {self.args[1]}..{self.args[2]}"
+        )
+
+
+def fire(plan: FaultPlan | None, site: str, shard: int, attempt: int) -> None:
+    """Raise (or hard-exit) if ``plan`` injects ``site`` here.
+
+    ``worker.exit`` calls ``os._exit`` — but only inside a child
+    process; in a thread backend (or the serial fallback) the guard
+    turns it into a no-op rather than killing the whole interpreter.
+    """
+    if plan is None:
+        return
+    injection = plan.match(site, shard, attempt)
+    if injection is None:
+        return
+    if site == WORKER_EXIT:
+        if multiprocessing.parent_process() is None:
+            return  # not a child process: a hard exit would kill the miner
+        os._exit(_EXIT_STATUS)
+    raise FaultInjected(site, shard, attempt)
+
+
+def hang(plan: FaultPlan | None, shard: int, attempt: int) -> None:
+    """Sleep through the parent's shard timeout if one is planned."""
+    if plan is None:
+        return
+    injection = plan.match(SHARD_TIMEOUT, shard, attempt)
+    if injection is not None:
+        time.sleep(injection.delay)
+
+
+def poison(
+    plan: FaultPlan | None,
+    shard: int,
+    attempt: int,
+    result: dict[int, object],
+    lo: int,
+    hi: int,
+) -> dict[int, object]:
+    """Corrupt a shard result if the plan says so (returns a copy).
+
+    Every flavor is *detectable* by the engine's integrity check
+    (exact period-key cover ``lo..hi`` plus value types) — a poisoned
+    shard must look like a fault, never silently merge into the table.
+    """
+    if plan is None:
+        return result
+    injection = plan.match(RESULT_POISON, shard, attempt)
+    if injection is None:
+        return result
+    corrupted = dict(result)
+    if injection.flavor == "alien":
+        corrupted[hi + 1] = corrupted.get(hi, {})
+    elif injection.flavor == "none":
+        corrupted[lo] = None
+    else:  # "drop"
+        corrupted.pop(hi, None)
+    return corrupted

@@ -60,6 +60,7 @@ class TestAsciiPlot:
 
 
 class TestRunner:
+    @pytest.mark.slow
     def test_runs_selected_quick_experiments(self):
         results = run_all(quick=True, only=("table2", "table3"))
         assert set(results) == {"table2", "table3"}

@@ -226,6 +226,7 @@ class TestPeriodsBases:
         assert "base" in out and "harmonics:" in out
 
 
+@pytest.mark.slow
 class TestExperiment:
     @pytest.mark.parametrize("name", ["table2", "table3"])
     def test_quick_experiments_render(self, capsys, name):

@@ -139,6 +139,79 @@ class TestStreaming:
         assert table.f2(1, 0, 0) == 0
 
 
+class TestFaultHardenedEngine:
+    """Degenerate inputs through the hardened parallel engine: faults
+    planned everywhere must change nothing when there is nothing (or
+    almost nothing) to mine."""
+
+    def _miner(self, **kwargs):
+        from repro.faults import FaultPlan
+
+        kwargs.setdefault("fault_plan", FaultPlan.random(seed=1, n_shards=8))
+        kwargs.setdefault("retry_backoff", 0.0)
+        return ConvolutionMiner(engine="parallel", **kwargs)
+
+    @pytest.mark.parametrize("series", [EMPTY, SINGLE], ids=["empty", "single"])
+    def test_degenerate_series_yield_empty_tables(self, series):
+        assert self._miner().periodicity_table(series).periods == []
+        assert self._miner().fault_events == ()
+
+    def test_unary_alphabet_matches_serial(self):
+        serial = ConvolutionMiner(engine="wordarray").periodicity_table(UNARY)
+        assert self._miner().periodicity_table(UNARY) == serial
+
+    def test_pair_and_constant_match_serial(self):
+        for series in (PAIR, CONSTANT):
+            serial = ConvolutionMiner(
+                engine="wordarray"
+            ).periodicity_table(series)
+            assert self._miner().periodicity_table(series) == serial
+
+    def test_more_workers_than_shards(self):
+        # 8 periods at most, 32 workers: the planner must not starve or
+        # duplicate shards, faults or not.
+        series = SymbolSequence.from_string("abcaabca" * 2)
+        serial = ConvolutionMiner(engine="wordarray").periodicity_table(series)
+        assert self._miner(workers=32).periodicity_table(series) == serial
+
+
+class TestStreamingEdges:
+    def test_extend_codes_with_empty_block_is_a_noop(self):
+        online = OnlineMiner(Alphabet("ab"), max_period=4)
+        online.extend_codes([])
+        assert online.n == 0
+        assert online.table().periods == []
+        windowed = SlidingWindowMiner(Alphabet("ab"), max_period=2, window=3)
+        windowed.extend_codes([])
+        assert windowed.size == 0
+
+    def test_extend_codes_empty_between_blocks_preserves_evidence(self):
+        miner = OnlineMiner(Alphabet("ab"), max_period=4)
+        miner.extend_codes([0, 1, 0, 1])
+        before = miner.table()
+        miner.extend_codes([])
+        assert miner.table() == before
+
+    def test_streaming_agrees_with_hardened_parallel_engine(self):
+        from repro.faults import FaultPlan
+
+        rng = np.random.default_rng(12)
+        codes = rng.integers(0, 3, size=240)
+        alphabet = Alphabet("abc")
+        miner = OnlineMiner(alphabet, max_period=16)
+        miner.extend_codes(codes)
+        streamed = miner.table()
+        series = SymbolSequence.from_codes(codes, alphabet)
+        parallel = ConvolutionMiner(
+            engine="parallel",
+            max_period=16,
+            workers=4,
+            retry_backoff=0.0,
+            fault_plan=FaultPlan.random(seed=3, n_shards=8),
+        ).periodicity_table(series)
+        assert parallel == streamed
+
+
 class TestConvolutionSubstrate:
     def test_fft_of_length_one(self):
         from repro.convolution import fft, ifft

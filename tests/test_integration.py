@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # end-to-end runs; `make test-fast` skips them
+
 from repro import (
     ChunkedReader,
     ConvolutionMiner,
